@@ -1,0 +1,117 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//   1. rows-per-tile in the fused LayerNorm (thread-block-handles-multiple-
+//      rows, §3.3.1 point 1) — the Triton autotuning axis;
+//   2. key-tile size in flash MHA (the tiling the Triton autotuner sweeps);
+//   3. two-step reduction vs row-serial accumulation in LN backward;
+//   4. online-softmax flash vs two-pass naive at DAP-shrunk sizes (the
+//      "poor kernel scalability" regime).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/attention.h"
+#include "kernels/layernorm.h"
+
+using namespace sf;
+using namespace sf::kernels;
+
+namespace {
+
+std::vector<float> randoms(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  fill_normal(rng, v.data(), n, 0.0f, 1.0f);
+  return v;
+}
+
+// 1. LayerNorm rows-per-tile sweep at small AlphaFold dims.
+void BM_LnRowsPerTile(benchmark::State& state) {
+  const int64_t rows = 1024, cols = 128;
+  const int64_t tile = state.range(0);
+  auto x = randoms(rows * cols, 1);
+  auto gamma = randoms(cols, 2);
+  auto beta = randoms(cols, 3);
+  std::vector<float> y(rows * cols);
+  for (auto _ : state) {
+    layernorm_forward_fused(x.data(), gamma.data(), beta.data(), y.data(),
+                            rows, cols, 1e-5f, nullptr, tile);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LnRowsPerTile)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(32);
+
+// 2. Flash MHA key-tile sweep.
+void BM_MhaKeyTile(benchmark::State& state) {
+  AttentionDims d{2, 4, 64, 64, 16};
+  auto q = randoms(d.qkv_numel(true), 1);
+  auto k = randoms(d.qkv_numel(false), 2);
+  auto v = randoms(d.qkv_numel(false), 3);
+  auto bias = randoms(d.bias_numel(), 4);
+  std::vector<float> out(d.qkv_numel(true));
+  const int64_t tile = state.range(0);
+  for (auto _ : state) {
+    mha_forward_flash(d, q.data(), k.data(), v.data(), bias.data(), nullptr,
+                      out.data(), nullptr, tile);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MhaKeyTile)->Arg(4)->Arg(16)->Arg(64);
+
+// 3. LN backward: two-step reduction tile sweep (1 row per tile degenerates
+// to the per-row accumulation pattern).
+void BM_LnBackwardReductionTile(benchmark::State& state) {
+  const int64_t rows = 512, cols = 128;
+  const int64_t tile = state.range(0);
+  auto x = randoms(rows * cols, 4);
+  auto gamma = randoms(cols, 5);
+  auto dy = randoms(rows * cols, 6);
+  std::vector<float> y(rows * cols), dx(rows * cols), dg(cols), db(cols);
+  std::vector<float> beta(cols, 0.0f);
+  LayerNormStats stats;
+  layernorm_forward_fused(x.data(), gamma.data(), beta.data(), y.data(), rows,
+                          cols, 1e-5f, &stats);
+  for (auto _ : state) {
+    layernorm_backward_fused(x.data(), gamma.data(), dy.data(), stats,
+                             dx.data(), dg.data(), db.data(), rows, cols,
+                             tile);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_LnBackwardReductionTile)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+// 4. DAP-shrunk attention: naive vs flash as the per-kernel problem size
+// drops n-fold (q_len divided, the DAP sharding axis).
+void BM_DapShrunkMhaNaive(benchmark::State& state) {
+  const int64_t dap = state.range(0);
+  AttentionDims d{1, 4, 128 / dap, 128, 16};
+  auto q = randoms(d.qkv_numel(true), 1);
+  auto k = randoms(d.qkv_numel(false), 2);
+  auto v = randoms(d.qkv_numel(false), 3);
+  std::vector<float> out(d.qkv_numel(true));
+  for (auto _ : state) {
+    mha_forward_naive(d, q.data(), k.data(), v.data(), nullptr, nullptr,
+                      out.data(), nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["rows"] = static_cast<double>(d.q_len);
+}
+BENCHMARK(BM_DapShrunkMhaNaive)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DapShrunkMhaFlash(benchmark::State& state) {
+  const int64_t dap = state.range(0);
+  AttentionDims d{1, 4, 128 / dap, 128, 16};
+  auto q = randoms(d.qkv_numel(true), 1);
+  auto k = randoms(d.qkv_numel(false), 2);
+  auto v = randoms(d.qkv_numel(false), 3);
+  std::vector<float> out(d.qkv_numel(true));
+  for (auto _ : state) {
+    mha_forward_flash(d, q.data(), k.data(), v.data(), nullptr, nullptr,
+                      out.data(), nullptr, 64);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["rows"] = static_cast<double>(d.q_len);
+}
+BENCHMARK(BM_DapShrunkMhaFlash)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

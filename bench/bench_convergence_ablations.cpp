@@ -1,0 +1,124 @@
+// Convergence ablations — real mini-scale training A/Bs for the paper's
+// convergence claims:
+//   1. §3.2: the non-blocking loader's batch reordering "did not
+//      negatively affect the training convergence".
+//   2. §3.4: bf16 converges (where naive fp16 NaNs).
+//   3. §2.2/§4.1: gradient checkpointing changes step time, not gradients
+//      — convergence identical, backward pays the recompute.
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/session.h"
+
+using namespace sf;
+
+namespace {
+
+core::ScaleFoldOptions base_options() {
+  core::ScaleFoldOptions o;
+  o.dataset.num_samples = 80;
+  o.dataset.crop_len = 10;
+  o.dataset.msa_rows = 3;
+  o.dataset.msa_work_cap = 60;
+  o.dataset.seed = 77;
+  o.model.c_m = 8;
+  o.model.c_z = 8;
+  o.model.c_s = 8;
+  o.model.heads = 2;
+  o.model.head_dim = 4;
+  o.model.evoformer_blocks = 1;
+  o.model.use_extra_msa_stack = false;
+  o.model.use_template_stack = false;
+  o.model.opm_dim = 2;
+  o.model.transition_factor = 2;
+  o.model.structure_layers = 1;
+  o.train.base_lr = 3e-3f;
+  o.train.warmup_steps = 8;
+  o.train.min_recycles = 1;
+  o.train.max_recycles = 1;
+  o.train.opt.clip_norm = 5.0f;
+  o.eval_samples = 0;
+  o.eval_every_steps = 0;
+  o.async_eval = false;
+  o.seed = 13;
+  return o;
+}
+
+struct Curve {
+  float first_loss = 0, last_loss = 0, last_lddt = 0;
+  double total_s = 0;
+};
+
+Curve run(core::ScaleFoldOptions o, int steps = 48) {
+  core::TrainingSession session(std::move(o));
+  Timer t;
+  auto records = session.run(steps);
+  Curve c;
+  c.first_loss = records.front().loss;
+  float loss4 = 0, lddt4 = 0;
+  for (int i = 0; i < 4; ++i) {
+    loss4 += records[records.size() - 1 - i].loss;
+    lddt4 += records[records.size() - 1 - i].lddt;
+  }
+  c.last_loss = loss4 / 4;
+  c.last_lddt = lddt4 / 4;
+  c.total_s = t.elapsed();
+  return c;
+}
+
+void report(const char* name, const Curve& c) {
+  std::printf("%-34s | loss %6.2f -> %6.2f | lddt %5.3f | %6.2f s\n", name,
+              c.first_loss, c.last_loss, c.last_lddt, c.total_s);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Convergence ablations (real training, 48 steps) ===\n\n");
+
+  // 1. Loader policy: reordering must not hurt convergence.
+  {
+    auto in_order = base_options();
+    in_order.nonblocking_loader = false;
+    auto ready = base_options();
+    ready.nonblocking_loader = true;
+    Curve a = run(in_order);
+    Curve b = run(ready);
+    report("in-order loader", a);
+    report("ready-first loader", b);
+    std::printf("  -> final-loss ratio %.3f (paper: no convergence impact "
+                "from reordering)\n\n",
+                b.last_loss / a.last_loss);
+  }
+
+  // 2. Precision: bf16 vs fp32.
+  {
+    auto fp32 = base_options();
+    auto bf16 = base_options();
+    bf16.bf16_activations = true;
+    Curve a = run(fp32);
+    Curve b = run(bf16);
+    report("fp32 activations", a);
+    report("bf16 activations", b);
+    std::printf("  -> bf16 converges (paper: bf16 yes, naive fp16 NaNs); "
+                "final-loss ratio %.3f\n\n",
+                b.last_loss / a.last_loss);
+  }
+
+  // 3. Gradient checkpointing: identical math, slower steps.
+  {
+    auto plain = base_options();
+    auto ckpt = base_options();
+    ckpt.model.gradient_checkpointing = true;
+    Curve a = run(plain);
+    Curve b = run(ckpt);
+    report("no checkpointing", a);
+    report("gradient checkpointing", b);
+    std::printf("  -> identical trajectories (|loss diff| %.4f), "
+                "checkpointing costs %.2fx wall time (the recompute DAP's "
+                "memory headroom lets ScaleFold drop)\n",
+                std::abs(a.last_loss - b.last_loss), b.total_s / a.total_s);
+  }
+  return 0;
+}

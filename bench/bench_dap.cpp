@@ -1,0 +1,145 @@
+// DAP substrate benchmark: communication volume of the three collective
+// patterns (all-gather, all-reduce, all-to-all) per Evoformer block at
+// mini scale and extrapolated to the paper-scale dims, plus data-parallel
+// gradient-reduce accounting. Ties the real implementation to the
+// simulator's kDapCommBytesPerStep calibration constant.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "dap/communicator.h"
+#include "dap/sharded.h"
+#include "model/modules.h"
+#include "sim/calibration.h"
+
+using namespace sf;
+using namespace sf::dap;
+
+namespace {
+
+void run_ranks(int n, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r) threads.emplace_back(fn, r);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== DAP communication patterns (real, in-process) ===\n\n");
+
+  model::ModelConfig cfg;
+  cfg.msa_rows = 8;
+  cfg.crop_len = 16;
+  cfg.c_m = 16;
+  cfg.c_z = 16;
+  cfg.heads = 2;
+  cfg.head_dim = 8;
+  cfg.opm_dim = 4;
+  Rng rng(5);
+  model::ParamStore store;
+  model::MSARowAttentionWithPairBias row(store, "row", cfg, rng);
+  model::MSAColumnAttention col(store, "col", cfg, rng);
+  model::OuterProductMean opm(store, "opm", cfg, rng);
+
+  Tensor msa = Tensor::randn({cfg.msa_rows, cfg.crop_len, cfg.c_m}, rng);
+  Tensor pair = Tensor::randn({cfg.crop_len, cfg.crop_len, cfg.c_z}, rng);
+
+  std::printf("mini dims: S=%lld R=%lld c_m=%lld c_z=%lld\n\n",
+              (long long)cfg.msa_rows, (long long)cfg.crop_len,
+              (long long)cfg.c_m, (long long)cfg.c_z);
+  std::printf("%-6s | %14s | %14s | %14s | %12s\n", "DAP-n",
+              "row-attn bytes", "col-attn bytes", "opm bytes", "collectives");
+  for (int n : {2, 4, 8}) {
+    Communicator c_row(n), c_col(n), c_opm(n);
+    run_ranks(n, [&](int rank) {
+      Tensor ms = shard_axis0(msa, rank, n);
+      Tensor ps = shard_axis0(pair, rank, n);
+      sharded_row_attention(row, c_row, rank, ms, ps, cfg.crop_len);
+      sharded_column_attention(col, c_col, rank, ms, cfg.msa_rows);
+      sharded_outer_product_mean(opm, c_opm, rank, ms, cfg.msa_rows);
+    });
+    std::printf("%-6d | %14llu | %14llu | %14llu | %12llu\n", n,
+                (unsigned long long)c_row.stats().total_bytes(),
+                (unsigned long long)c_col.stats().total_bytes(),
+                (unsigned long long)c_opm.stats().total_bytes(),
+                (unsigned long long)(c_row.stats().collectives +
+                                     c_col.stats().collectives +
+                                     c_opm.stats().collectives));
+  }
+
+  // Communication-optimized variants (§2.3: DAP offers "more opportunities
+  // for communication optimization"): gather only the projected per-head
+  // bias; project outer-product partials to c_z before a reduce-scatter.
+  std::printf("\n--- naive vs optimized patterns (DAP-4, bytes) ---\n");
+  {
+    const int n = 4;
+    Communicator naive_row(n), opt_row(n), naive_opm(n), opt_opm(n);
+    run_ranks(n, [&](int rank) {
+      Tensor ms = shard_axis0(msa, rank, n);
+      Tensor ps = shard_axis0(pair, rank, n);
+      sharded_row_attention(row, naive_row, rank, ms, ps, cfg.crop_len);
+      sharded_row_attention_biasgather(row, opt_row, rank, ms, ps,
+                                       cfg.crop_len);
+      sharded_outer_product_mean(opm, naive_opm, rank, ms, cfg.msa_rows);
+      sharded_outer_product_mean_scatter(opm, opt_opm, rank, ms,
+                                         cfg.msa_rows);
+    });
+    std::printf("row attention : full-pair gather %8llu -> bias-only "
+                "gather %8llu (%.1fx less)\n",
+                (unsigned long long)naive_row.stats().total_bytes(),
+                (unsigned long long)opt_row.stats().total_bytes(),
+                double(naive_row.stats().total_bytes()) /
+                    opt_row.stats().total_bytes());
+    std::printf("outer product : all-reduce u*v   %8llu -> project+reduce-"
+                "scatter %5llu (%.1fx less)\n",
+                (unsigned long long)naive_opm.stats().total_bytes(),
+                (unsigned long long)opt_opm.stats().total_bytes(),
+                double(naive_opm.stats().total_bytes()) /
+                    opt_opm.stats().total_bytes());
+  }
+
+  // Extrapolate the *optimized* per-rank volume to paper-scale dims and
+  // the full stack (54 blocks, fwd+bwd ~2x): the quantity the simulator's
+  // kDapCommBytesPerStep models.
+  const double bias_gather = 256.0 * 256 * 8 * 4;           // [R,R,H]
+  const double opm_scatter = 256.0 * 256 * 128 * 4;         // [R,R,c_z]
+  const double col_a2a = 2 * 128.0 * 256 * 256 * 4 / 8;     // shard slices
+  const double per_block = bias_gather + opm_scatter + col_a2a;
+  const double per_step = per_block * 54 * 2;  // fwd + bwd
+  std::printf("\npaper-scale extrapolation (optimized patterns): ~%.2f GB "
+              "of DAP collectives per step\n(simulator calibration "
+              "kDapCommBytesPerStep = %.2f GB)\n",
+              per_step / 1e9, sim::calib::kDapCommBytesPerStep / 1e9);
+
+  // The full sharded Evoformer block: every §2.3 boundary in one pass.
+  std::printf("\n--- full Evoformer block under DAP (per-step comm) ---\n");
+  {
+    model::ParamStore store2;
+    Rng rng2(9);
+    model::EvoformerBlock block(store2, "blk", cfg, rng2);
+    for (int n : {2, 4, 8}) {
+      Communicator comm(n);
+      run_ranks(n, [&](int rank) {
+        Tensor ms = shard_axis0(msa, rank, n);
+        Tensor ps = shard_axis0(pair, rank, n);
+        sharded_evoformer_block(block, comm, rank, ms, ps, cfg.msa_rows,
+                                cfg.crop_len);
+      });
+      auto st = comm.stats();
+      std::printf("DAP-%d: %llu collectives, %llu bytes (gather %llu, "
+                  "reduce %llu, a2a %llu, scatter %llu)\n",
+                  n, (unsigned long long)st.collectives,
+                  (unsigned long long)st.total_bytes(),
+                  (unsigned long long)st.bytes_gathered,
+                  (unsigned long long)st.bytes_reduced,
+                  (unsigned long long)st.bytes_exchanged,
+                  (unsigned long long)st.bytes_scattered);
+    }
+  }
+
+  std::printf("\nEvery pattern and the full block are tested for exact "
+              "equivalence with the unsharded modules "
+              "(tests/test_dap.cpp).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 7 reproduction: ScaleFold step time across DAP degrees vs public
+// OpenFold and FastFold (batch size 128). Baseline numbers quoted from the
+// paper (which itself quotes FastFold); ScaleFold rows are simulated by
+// this repo's cluster model.
+#include <cstdio>
+
+#include "sim/cluster.h"
+
+using namespace sf::sim;
+
+namespace {
+
+double scalefold_step(const GpuArch& arch, int dap) {
+  ClusterConfig cfg;
+  cfg.arch = arch;
+  cfg.num_gpus = 128;
+  cfg.dap = dap;
+  cfg.sim_steps = 300;
+  cfg.toggles = Toggles::all_on();
+  if (dap == 1) {
+    // CUDA Graph "is not beneficial for DAP-1" and checkpointing stays on
+    // (no DAP memory headroom): the paper's DAP-1 row.
+    cfg.toggles.cuda_graph = false;
+    cfg.toggles.disable_grad_ckpt = false;
+  }
+  return simulate_step_time(cfg).mean_step_s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 7: step time vs DAP-n (batch size 128) ===\n\n");
+  std::printf("%-34s | %10s | %10s\n", "configuration", "paper (s)", "ours (s)");
+  std::printf("-----------------------------------+------------+-----------\n");
+  std::printf("%-34s | %10.2f | %10s\n", "OpenFold (public), A100, no DAP",
+              6.19, "(quoted)");
+  std::printf("%-34s | %10.2f | %10s\n", "FastFold, A100, DAP-2", 2.49,
+              "(quoted)");
+
+  GpuArch a100 = GpuArch::a100();
+  GpuArch h100 = GpuArch::h100();
+  std::printf("%-34s | %10.2f | %10.2f\n", "ScaleFold, A100, DAP-2", 1.88,
+              scalefold_step(a100, 2));
+  struct Row {
+    int dap;
+    double paper;
+  } rows[] = {{1, 1.80}, {2, 1.12}, {4, 0.75}, {8, 0.65}};
+  for (const auto& r : rows) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "ScaleFold, H100, DAP-%d", r.dap);
+    std::printf("%-34s | %10.2f | %10.2f\n", name, r.paper,
+                scalefold_step(h100, r.dap));
+  }
+
+  double t1 = scalefold_step(h100, 1);
+  std::printf("\nDAP speedups vs DAP-1 on H100 (paper: 1.6x / 2.4x / 2.77x):\n");
+  for (int dap : {2, 4, 8}) {
+    std::printf("  DAP-%d: %.2fx\n", dap, t1 / scalefold_step(h100, dap));
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Graph capture/replay microbenchmarks (§3.2 CUDA Graph analogue): eager
+// dispatch vs captured replay for a fragmented op stream, with and without
+// injected host CPU load, plus the elementwise pattern fuser
+// (torch.compile analogue).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/executor.h"
+#include "graph/fuser.h"
+
+using namespace sf;
+using namespace sf::graph;
+
+namespace {
+
+// A fragmented program: many small elementwise ops, AlphaFold-style.
+// Each op gets its own intermediate buffer (as a real allocator would
+// produce), so the fuser's aliasing analysis can elide the temporaries.
+struct Workload {
+  std::vector<float> in;
+  std::vector<std::vector<float>> bufs;
+  Program program;
+  Workload(int ops, int64_t n) : in(n, 1.0f) {
+    Rng rng(3);
+    fill_normal(rng, in.data(), n, 0.0f, 1.0f);
+    bufs.resize(ops, std::vector<float>(n));
+    const float* src = in.data();
+    for (int i = 0; i < ops; ++i) {
+      float* dst = bufs[i].data();
+      program.add_elementwise("op" + std::to_string(i), src, dst, n,
+                              {EwKind::kMulScalar, nullptr, 1.0001f});
+      src = dst;
+    }
+  }
+  float* out() { return bufs.back().data(); }
+};
+
+void BM_EagerDispatch(benchmark::State& state) {
+  Workload w(200, state.range(0));
+  Executor exec;
+  for (auto _ : state) {
+    exec.run_eager(w.program);
+    benchmark::DoNotOptimize(w.out());
+  }
+}
+BENCHMARK(BM_EagerDispatch)->Arg(256)->Arg(4096);
+
+void BM_GraphReplay(benchmark::State& state) {
+  Workload w(200, state.range(0));
+  GraphExec graph(w.program);
+  for (auto _ : state) {
+    graph.replay();
+    benchmark::DoNotOptimize(w.out());
+  }
+}
+BENCHMARK(BM_GraphReplay)->Arg(256)->Arg(4096);
+
+// Host CPU peaks: the robustness claim. Eager pays the injected load per
+// launch; replay does not touch the dispatch path at all.
+void BM_EagerUnderHostLoad(benchmark::State& state) {
+  Workload w(50, 256);
+  Executor exec;
+  exec.set_host_load_hook(
+      [] { std::this_thread::sleep_for(std::chrono::microseconds(20)); });
+  for (auto _ : state) {
+    exec.run_eager(w.program);
+    benchmark::DoNotOptimize(w.out());
+  }
+}
+BENCHMARK(BM_EagerUnderHostLoad);
+
+void BM_ReplayUnderHostLoad(benchmark::State& state) {
+  Workload w(50, 256);
+  GraphExec graph(w.program);
+  // Host load exists but replay never consults the dispatch path.
+  for (auto _ : state) {
+    graph.replay();
+    benchmark::DoNotOptimize(w.out());
+  }
+}
+BENCHMARK(BM_ReplayUnderHostLoad);
+
+// torch.compile analogue: chains collapse into single passes. Buffers are
+// sized beyond L2 so the eliminated memory passes dominate.
+void BM_ChainUnfused(benchmark::State& state) {
+  Workload w(16, 2 * 1000 * 1000);
+  GraphExec graph(w.program);
+  for (auto _ : state) {
+    graph.replay();
+    benchmark::DoNotOptimize(w.out());
+  }
+}
+BENCHMARK(BM_ChainUnfused);
+
+void BM_ChainFused(benchmark::State& state) {
+  Workload w(16, 2 * 1000 * 1000);
+  Program fused = fuse_elementwise_chains(w.program);
+  GraphExec graph(fused);
+  for (auto _ : state) {
+    graph.replay();
+    benchmark::DoNotOptimize(w.out());
+  }
+}
+BENCHMARK(BM_ChainFused);
+
+// Graph cache: amortized capture across recycling scenarios.
+void BM_GraphCacheHitPath(benchmark::State& state) {
+  Workload w(100, 512);
+  GraphCache cache;
+  auto builder = [&] { return w.program; };
+  cache.get_or_capture("recycles=2", builder);  // warm
+  for (auto _ : state) {
+    auto& g = cache.get_or_capture("recycles=2", builder);
+    g.replay();
+    benchmark::DoNotOptimize(&g);
+  }
+}
+BENCHMARK(BM_GraphCacheHitPath);
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Data-pipeline benchmark: blocking (in-order) vs non-blocking
+// (ready-first) loaders driving a simulated training consumer over the
+// real featurizer. The work list interleaves typical samples with the
+// heavy tail of the Fig. 4 distribution (a straggler every ~10 batches),
+// and reports consumer idle time — the quantity §3.2 eliminates.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "data/loader.h"
+#include "data/protein_sample.h"
+
+using namespace sf;
+using namespace sf::data;
+
+namespace {
+
+struct Result {
+  double total_s = 0;
+  double idle_s = 0;
+};
+
+Result run(const SyntheticProteinDataset& ds,
+           const std::vector<int64_t>& order, YieldPolicy policy,
+           double step_s) {
+  LoaderConfig lc;
+  lc.policy = policy;
+  lc.num_workers = 3;
+  lc.max_in_flight = 6;
+  PrefetchLoader loader(
+      [&ds, &order](int64_t i) { return ds.prepare_batch(order[i]); },
+      static_cast<int64_t>(order.size()), lc);
+  Result r;
+  Timer total;
+  bool first = true;
+  while (loader.has_next()) {
+    Timer wait;
+    Batch b = loader.next();
+    if (!first) r.idle_s += wait.elapsed();  // exclude cold-start fill
+    first = false;
+    // Fixed-duration training step (compute is elsewhere in this repo).
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(step_s * 1e6)));
+  }
+  r.total_s = total.elapsed();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  DatasetConfig cfg;
+  cfg.num_samples = 400;
+  cfg.crop_len = 32;
+  cfg.msa_rows = 4;
+  cfg.msa_work_cap = 4000;
+  cfg.seed = 31;
+  SyntheticProteinDataset ds(cfg);
+
+  // Rank samples by featurization work and build the work list: 90% from
+  // the light half, a heavy-tail sample every 10th batch (Fig. 4's ~10%
+  // slow fraction).
+  std::vector<int64_t> by_work(ds.size());
+  for (int64_t i = 0; i < ds.size(); ++i) by_work[i] = i;
+  auto work = [&](int64_t i) {
+    const auto& m = ds.meta(i);
+    return m.seq_len * std::min(m.msa_depth, cfg.msa_work_cap);
+  };
+  std::sort(by_work.begin(), by_work.end(),
+            [&](int64_t a, int64_t b) { return work(a) < work(b); });
+  std::vector<int64_t> order;
+  for (int64_t i = 0; i < 80; ++i) {
+    order.push_back(i % 10 == 5 ? by_work[ds.size() - 1 - (i / 10) % 8]
+                                : by_work[i % 150]);
+  }
+  double light_ms = ds.prepare_batch(order[0]).prep_seconds * 1e3;
+  double heavy_ms = ds.prepare_batch(order[5]).prep_seconds * 1e3;
+  std::printf("=== Loader benchmark: in-order vs ready-first ===\n");
+  std::printf("(real featurizer; light batch ~%.2f ms, straggler ~%.1f ms, "
+              "3 workers, prefetch 6)\n\n",
+              light_ms, heavy_ms);
+
+  std::printf("%-12s | %-12s | %10s | %10s | %8s\n", "step time", "policy",
+              "total (s)", "idle (s)", "idle %");
+  for (double step_s : {0.008, 0.002}) {
+    Result blocking = run(ds, order, YieldPolicy::kInOrder, step_s);
+    Result ready = run(ds, order, YieldPolicy::kReadyFirst, step_s);
+    std::printf("%9.0f us | %-12s | %10.3f | %10.3f | %7.1f%%\n", step_s * 1e6,
+                "in-order", blocking.total_s, blocking.idle_s,
+                100 * blocking.idle_s / blocking.total_s);
+    std::printf("%9.0f us | %-12s | %10.3f | %10.3f | %7.1f%%\n", step_s * 1e6,
+                "ready-first", ready.total_s, ready.idle_s,
+                100 * ready.idle_s / ready.total_s);
+    std::printf("%9.0f us | idle reduction: %.1fx, throughput gain: %.2fx\n\n",
+                step_s * 1e6, blocking.idle_s / std::max(1e-4, ready.idle_s),
+                blocking.total_s / ready.total_s);
+  }
+  std::printf("paper: the faster the training step, the more the in-order "
+              "pipeline blocks (dataload optimization 'becomes increasingly "
+              "high' in importance).\n");
+  return 0;
+}

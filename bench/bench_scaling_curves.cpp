@@ -1,0 +1,101 @@
+// Scaling curves: the paper's core argument in one table.
+//
+// Data parallelism alone is capped by the global-batch ceiling (§2.2: the
+// AlphaFold batch size cannot exceed 256 or training diverges), so beyond
+// 256 GPUs pure DP has nothing to parallelize. DAP multiplies the usable
+// GPU count by its degree (§2.3), which with ScaleFold's optimizations is
+// efficient up to DAP-8 => 2048 GPUs. This bench prints throughput
+// (samples/s) and scaling efficiency across the whole range, plus
+// time-to-train, for baseline vs ScaleFold.
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/cluster.h"
+#include "sim/ttt.h"
+
+using namespace sf::sim;
+
+namespace {
+
+constexpr int kMaxGlobalBatch = 256;  // §2.2 convergence ceiling
+
+struct Row {
+  int gpus;
+  int dap;
+  double step_s;
+  double samples_per_s;
+};
+
+Row evaluate(int gpus, bool scalefold) {
+  ClusterConfig cfg;
+  cfg.arch = GpuArch::h100();
+  cfg.num_gpus = gpus;
+  cfg.sim_steps = 150;
+  // DAP degree: the smallest that keeps the DP degree within the batch
+  // ceiling (1 crop per DP group per step).
+  int dap = 1;
+  while (gpus / dap > kMaxGlobalBatch && dap < 8) dap *= 2;
+  cfg.dap = dap;
+  if (scalefold) {
+    cfg.toggles = Toggles::all_on();
+  } else {
+    // The baseline cannot run DAP usefully beyond the batch ceiling; it
+    // still tries (FastFold-style DAP without the ScaleFold fixes).
+    cfg.toggles = Toggles::none();
+  }
+  StepStats s = simulate_step_time(cfg);
+  Row r;
+  r.gpus = gpus;
+  r.dap = dap;
+  r.step_s = s.mean_step_s;
+  r.samples_per_s = std::min(gpus / dap, kMaxGlobalBatch) / s.mean_step_s;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Scaling beyond the DP limit (H100, batch ceiling %d) ===\n\n",
+              kMaxGlobalBatch);
+  std::printf("%6s | %5s | %-9s | %9s | %12s | %10s\n", "GPUs", "DAP",
+              "config", "step (s)", "samples/s", "efficiency");
+  double base_tp_sf = 0, base_tp_ref = 0;
+  int base_gpus = 128;
+  for (int gpus : {128, 256, 512, 1024, 2048}) {
+    for (bool scalefold : {false, true}) {
+      Row r = evaluate(gpus, scalefold);
+      double& base_tp = scalefold ? base_tp_sf : base_tp_ref;
+      if (gpus == base_gpus) base_tp = r.samples_per_s;
+      double eff = r.samples_per_s / (base_tp * gpus / base_gpus);
+      std::printf("%6d | %5d | %-9s | %9.3f | %12.1f | %9.0f%%\n", r.gpus,
+                  r.dap, scalefold ? "scalefold" : "baseline", r.step_s,
+                  r.samples_per_s, eff * 100);
+    }
+  }
+  std::printf("\npaper: prior art scaled to 512 GPUs; ScaleFold's fixes "
+              "(CUDA Graph, non-blocking loader, fused kernels) keep DAP "
+              "efficient to 2048 training GPUs.\n");
+
+  std::printf("\n--- time-to-train vs cluster size (400 steps, async eval) "
+              "---\n");
+  std::printf("%6s | %5s | %10s | %10s\n", "GPUs", "DAP", "TTT (min)",
+              "speedup");
+  double t_first = 0;
+  for (int gpus : {256, 512, 1024, 2048}) {
+    TttConfig cfg;
+    cfg.cluster.arch = GpuArch::h100();
+    cfg.cluster.num_gpus = gpus;
+    int dap = 1;
+    while (gpus / dap > kMaxGlobalBatch && dap < 8) dap *= 2;
+    cfg.cluster.dap = dap;
+    cfg.cluster.toggles = Toggles::all_on();
+    cfg.async_eval = true;
+    TttResult r = time_to_train(cfg);
+    if (t_first == 0) t_first = r.total_s;
+    std::printf("%6d | %5d | %10.1f | %9.2fx\n", gpus, dap, r.total_s / 60,
+                t_first / r.total_s);
+  }
+  std::printf("\n(diminishing returns past 1024: init+compile and the eval "
+              "tail amortize over less training time — the Fig. 9 story.)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Cluster-scale what-if studies with the calibrated simulator: step time,
+// barrier breakdown and time-to-train for user-chosen GPU counts and DAP
+// degrees on A100 or H100.
+//
+//   $ ./cluster_scaling [num_gpus] [arch]
+//   $ ./cluster_scaling 2048 h100
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/cluster.h"
+#include "sim/ttt.h"
+
+using namespace sf::sim;
+
+int main(int argc, char** argv) {
+  int num_gpus = argc > 1 ? std::atoi(argv[1]) : 512;
+  GpuArch arch = (argc > 2 && std::strcmp(argv[2], "a100") == 0)
+                     ? GpuArch::a100()
+                     : GpuArch::h100();
+
+  std::printf("=== ScaleFold cluster what-if: %d x %s ===\n\n", num_gpus,
+              arch.name.c_str());
+
+  std::printf("%-6s | %-10s | %9s | %9s | %9s | %9s | %9s\n", "DAP", "mode",
+              "step (s)", "compute", "cpu-ovh", "comm", "stalls");
+  for (int dap : {1, 2, 4, 8}) {
+    if (num_gpus % dap != 0) continue;
+    for (bool optimized : {false, true}) {
+      ClusterConfig cfg;
+      cfg.arch = arch;
+      cfg.num_gpus = num_gpus;
+      cfg.dap = dap;
+      cfg.sim_steps = 200;
+      if (optimized) cfg.toggles = Toggles::all_on();
+      StepStats s = simulate_step_time(cfg);
+      std::printf("%-6d | %-10s | %9.3f | %9.3f | %9.3f | %9.3f | %9.3f\n",
+                  dap, optimized ? "scalefold" : "baseline", s.mean_step_s,
+                  s.compute_s, s.cpu_overhead_s, s.dap_comm_s + s.grad_comm_s,
+                  s.imbalance_s + s.data_wait_s);
+    }
+  }
+
+  std::printf("\n--- barrier breakdown (baseline toggles, Fig. 3 view) ---\n");
+  for (int dap : {2, 4, 8}) {
+    if (num_gpus % dap != 0) continue;
+    ClusterConfig cfg;
+    cfg.arch = arch;
+    cfg.num_gpus = num_gpus;
+    cfg.dap = dap;
+    BarrierBreakdown b = barrier_breakdown(cfg);
+    std::printf("DAP-%d: cpu %.0f%%, serial %.0f%%, imbalance %.0f%%, "
+                "kernel-scaling %.0f%%, comm %.0f%%\n",
+                dap, b.cpu_overhead * 100, b.serial_modules * 100,
+                b.imbalanced_comm * 100, b.kernel_scalability * 100,
+                b.comm_overhead * 100);
+  }
+
+  std::printf("\n--- MLPerf-style time-to-train on this cluster ---\n");
+  for (bool async : {false, true}) {
+    TttConfig t;
+    t.cluster.arch = arch;
+    t.cluster.num_gpus = num_gpus;
+    t.cluster.dap = num_gpus % 8 == 0 ? 8 : 1;
+    t.cluster.toggles = Toggles::all_on();
+    t.total_steps = 400;
+    t.async_eval = async;
+    TttResult r = time_to_train(t);
+    std::printf("%s eval: %.1f min (init %.1f + train %.1f + eval %.1f)\n",
+                async ? "async" : "sync ", r.total_s / 60, r.init_s / 60,
+                r.train_s / 60, r.eval_s / 60);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Live demonstration of the non-blocking data pipeline (§3.2, Fig. 5):
+// identical worker pools prepare real featurized batches with long-tailed
+// prep times; the consumer runs fixed-length "training steps" and logs
+// when each policy makes it wait.
+//
+//   $ ./data_pipeline_demo
+#include <cstdio>
+#include <thread>
+
+#include "common/timer.h"
+#include "data/loader.h"
+#include "data/protein_sample.h"
+
+using namespace sf;
+using namespace sf::data;
+
+namespace {
+
+void run_policy(const SyntheticProteinDataset& ds, YieldPolicy policy,
+                const char* name) {
+  LoaderConfig lc;
+  lc.policy = policy;
+  lc.num_workers = 2;
+  lc.max_in_flight = 4;
+  const int64_t n = 32;
+  PrefetchLoader loader([&ds](int64_t i) { return ds.prepare_batch(i); }, n,
+                        lc);
+  std::printf("--- %s ---\n", name);
+  double idle = 0;
+  Timer total;
+  int64_t reordered = 0;
+  int64_t expected = 0;
+  while (loader.has_next()) {
+    Timer wait;
+    Batch b = loader.next();
+    double w = wait.elapsed();
+    idle += w;
+    if (b.index != expected) ++reordered;
+    ++expected;
+    if (w > 2e-3) {
+      std::printf("  step %3lld: waited %6.2f ms for batch %lld (prep "
+                  "%6.2f ms)\n",
+                  static_cast<long long>(expected - 1), w * 1e3,
+                  static_cast<long long>(b.index), b.prep_seconds * 1e3);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));  // the step
+  }
+  std::printf("  total %.1f ms, consumer idle %.1f ms, out-of-order yields "
+              "%lld/%lld\n\n",
+              total.elapsed() * 1e3, idle * 1e3,
+              static_cast<long long>(reordered), static_cast<long long>(n));
+}
+
+}  // namespace
+
+int main() {
+  DatasetConfig cfg;
+  cfg.num_samples = 48;
+  cfg.crop_len = 32;
+  cfg.msa_rows = 4;
+  cfg.msa_work_cap = 2500;
+  cfg.seed = 1234;
+  SyntheticProteinDataset ds(cfg);
+
+  std::printf("=== non-blocking data pipeline demo ===\n");
+  std::printf("dataset: %lld samples; prep times span:\n",
+              static_cast<long long>(ds.size()));
+  double fastest = 1e9, slowest = 0;
+  for (int64_t i = 0; i < 32; ++i) {
+    double t = ds.prepare_batch(i).prep_seconds;
+    fastest = std::min(fastest, t);
+    slowest = std::max(slowest, t);
+  }
+  std::printf("  fastest %.2f ms .. slowest %.2f ms (%.0fx)\n\n",
+              fastest * 1e3, slowest * 1e3, slowest / fastest);
+
+  run_policy(ds, YieldPolicy::kInOrder,
+             "(i) PyTorch-style in-order pipeline");
+  run_policy(ds, YieldPolicy::kReadyFirst,
+             "(ii) ScaleFold non-blocking pipeline");
+  std::printf("the non-blocking pipeline trades a bounded amount of batch "
+              "reordering for the elimination of consumer stalls; the "
+              "paper observed no convergence impact.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// MLPerf-HPC-style partial training, for real at mini scale (Fig. 10's
+// setting): initialize from a predefined checkpoint, then train to a
+// lowered accuracy target — once with every ScaleFold optimization off
+// (naive kernels, unfused optimizer, in-order loader) and once with the
+// full ScaleFold method. Both runs compute identical math; the wall-clock
+// difference is the real, measured analogue of the paper's 6x.
+//
+//   $ ./mlperf_partial
+#include <cstdio>
+
+#include "common/timer.h"
+#include "core/scalefold.h"
+#include "train/checkpoint.h"
+
+using namespace sf;
+
+namespace {
+
+core::ScaleFoldOptions make_options(bool scalefold) {
+  core::ScaleFoldOptions o;
+  o.nonblocking_loader = scalefold;
+  o.flash_mha = scalefold;
+  o.fused_layernorm = scalefold;
+  o.fused_optimizer = scalefold;
+  o.bucketed_grad_norm = scalefold;
+  o.async_eval = scalefold;
+  o.cached_eval = true;
+
+  o.dataset.num_samples = 200;
+  o.dataset.crop_len = 12;
+  o.dataset.msa_rows = 3;
+  o.dataset.msa_work_cap = 400;
+  o.dataset.seed = 99;
+  o.model.c_m = 8;
+  o.model.c_z = 8;
+  o.model.c_s = 8;
+  o.model.heads = 2;
+  o.model.head_dim = 4;
+  o.model.evoformer_blocks = 1;
+  o.model.use_extra_msa_stack = false;
+  o.model.use_template_stack = false;
+  o.model.opm_dim = 2;
+  o.model.transition_factor = 2;
+  o.model.structure_layers = 1;
+  // The baseline also carries gradient checkpointing (the OpenFold
+  // reference's memory trade); ScaleFold disables it (§4.1).
+  o.model.gradient_checkpointing = !scalefold;
+  o.train.base_lr = 3e-3f;
+  o.train.warmup_steps = 5;
+  o.train.min_recycles = 1;
+  o.train.max_recycles = 1;
+  o.train.opt.clip_norm = 5.0f;
+  o.train.opt.swa_decay = 0.9f;
+  o.eval_samples = 3;
+  o.seed = 77;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  const char* ckpt_path = "/tmp/mlperf_partial_init.ckpt";
+  const float target_lddt_gain = 0.05f;
+
+  // Phase 0: produce the "predefined checkpoint" (MLPerf initializes from
+  // a partially trained model rather than from scratch).
+  float ckpt_lddt;
+  {
+    std::printf("preparing checkpoint: 40 warmup steps...\n");
+    core::TrainingSession warmup(make_options(true));
+    warmup.run(40);
+    ckpt_lddt = warmup.evaluate_now().avg_lddt;
+    train::save_checkpoint(ckpt_path, warmup.net().params());
+    std::printf("checkpoint written (eval lDDT-Ca %.3f); target: %.3f\n\n",
+                ckpt_lddt, ckpt_lddt + target_lddt_gain);
+  }
+
+  // Phase 1: time-to-target from the checkpoint, baseline vs ScaleFold.
+  struct RunResult {
+    double seconds = 0;
+    int64_t steps = 0;
+    float final_lddt = 0;
+  };
+  auto run = [&](bool scalefold) {
+    core::TrainingSession session(make_options(scalefold));
+    train::load_checkpoint(ckpt_path, session.net().params());
+    RunResult r;
+    Timer t;
+    const float target = ckpt_lddt + target_lddt_gain;
+    for (int chunk = 0; chunk < 10; ++chunk) {
+      session.run(12);
+      r.steps += 12;
+      r.final_lddt = session.evaluate_now().avg_lddt;
+      if (r.final_lddt >= target) break;
+    }
+    r.seconds = t.elapsed();
+    return r;
+  };
+
+  std::printf("%-26s | %8s | %8s | %10s\n", "configuration", "steps",
+              "lddt_ca", "wall time");
+  RunResult ref = run(false);
+  std::printf("%-26s | %8lld | %8.3f | %8.2f s\n",
+              "reference (all opts off)", (long long)ref.steps,
+              ref.final_lddt, ref.seconds);
+  RunResult sf_run = run(true);
+  std::printf("%-26s | %8lld | %8.3f | %8.2f s\n", "ScaleFold (all opts on)",
+              (long long)sf_run.steps, sf_run.final_lddt, sf_run.seconds);
+
+  std::printf("\nmeasured speedup to target: %.2fx "
+              "(paper, at 2080 H100 vs reference: >6x)\n",
+              ref.seconds / sf_run.seconds);
+  std::printf("both paths compute the same math — the gap is fused kernels, "
+              "fused optimizer, no checkpoint recompute, non-blocking "
+              "loading and async evaluation.\n");
+  return 0;
+}

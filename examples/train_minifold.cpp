@@ -1,0 +1,94 @@
+// Train the mini-AlphaFold with the full ScaleFold method at laptop scale:
+// non-blocking loader, flash MHA, fused LayerNorm, fused Adam+SWA with
+// bucketed grad clipping, and asynchronous evaluation with a DRAM-cached
+// evaluation set.
+//
+//   $ ./train_minifold [steps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/scalefold.h"
+#include "train/checkpoint.h"
+
+int main(int argc, char** argv) {
+  using namespace sf;
+  int64_t steps = argc > 1 ? std::atoll(argv[1]) : 60;
+
+  core::ScaleFoldOptions o;
+  // The eight ScaleFold switches (all on — flip any to feel the cost).
+  o.nonblocking_loader = true;
+  o.flash_mha = true;
+  o.fused_layernorm = true;
+  o.fused_optimizer = true;
+  o.bucketed_grad_norm = true;
+  o.bf16_activations = false;  // try true: converges, slightly noisier
+  o.async_eval = true;
+  o.cached_eval = true;
+
+  o.dataset.num_samples = steps + 8;
+  o.dataset.crop_len = 12;
+  o.dataset.msa_rows = 3;
+  o.dataset.msa_work_cap = 100;
+  o.dataset.seed = 7;
+  o.model.c_m = 8;
+  o.model.c_z = 8;
+  o.model.c_s = 8;
+  o.model.heads = 2;
+  o.model.head_dim = 4;
+  o.model.evoformer_blocks = 1;
+  o.model.use_extra_msa_stack = false;
+  o.model.use_template_stack = false;
+  o.model.opm_dim = 2;
+  o.model.transition_factor = 2;
+  o.model.structure_layers = 1;
+  o.train.base_lr = 4e-3f;
+  o.train.warmup_steps = 10;
+  o.train.min_recycles = 1;
+  o.train.max_recycles = 2;
+  o.train.opt.clip_norm = 5.0f;
+  o.train.opt.swa_decay = 0.9f;  // short runs: SWA must track quickly
+  o.eval_samples = 4;
+  o.eval_every_steps = steps / 3;
+
+  core::TrainingSession session(o);
+  std::printf("training mini-AlphaFold for %lld steps "
+              "(%zu param tensors, %lld params)\n\n",
+              static_cast<long long>(steps), session.net().params().size(),
+              static_cast<long long>(session.net().params().total_elements()));
+
+  std::printf("%6s | %10s | %10s | %9s | %9s | %9s\n", "step", "loss",
+              "lddt_ca", "grad norm", "step ms", "wait ms");
+  auto records = session.run(steps);
+  for (size_t i = 0; i < records.size(); i += 10) {
+    const auto& r = records[i];
+    std::printf("%6lld | %10.3f | %10.3f | %9.3f | %9.2f | %9.3f\n",
+                static_cast<long long>(r.step), r.loss, r.lddt, r.grad_norm,
+                r.step_seconds * 1e3, r.data_wait_seconds * 1e3);
+  }
+  const auto& last = records.back();
+  std::printf("%6lld | %10.3f | %10.3f | %9.3f | %9.2f | %9.3f\n",
+              static_cast<long long>(last.step), last.loss, last.lddt,
+              last.grad_norm, last.step_seconds * 1e3,
+              last.data_wait_seconds * 1e3);
+
+  std::printf("\nasync evaluation reports (SWA-free replica):\n");
+  for (const auto& rep : session.drain_eval_reports()) {
+    std::printf("  step %4lld: eval lDDT-Ca %.3f, loss %.3f (%.1f ms)\n",
+                static_cast<long long>(rep.step), rep.result.avg_lddt,
+                rep.result.avg_loss, rep.result.seconds * 1e3);
+  }
+  auto final_eval = session.evaluate_now();  // SWA weights
+  std::printf("final SWA evaluation over %lld samples: lDDT-Ca %.3f, "
+              "FAPE %.3f, dRMSD %.2f A, contact precision %.2f\n",
+              static_cast<long long>(final_eval.num_samples),
+              final_eval.avg_lddt, final_eval.avg_fape, final_eval.avg_drmsd,
+              final_eval.avg_contact_precision);
+
+  const char* ckpt = "/tmp/minifold_final.ckpt";
+  train::save_checkpoint(ckpt, session.net().params());
+  std::printf("checkpoint written to %s\n", ckpt);
+  std::printf("total consumer data-wait: %.2f ms across %lld steps\n",
+              session.total_data_wait_seconds() * 1e3,
+              static_cast<long long>(steps));
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace sf::autograd {
+
+GradCheckResult grad_check(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    std::vector<Var>& leaves, float step, float tol_abs, float tol_rel) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  for (auto& leaf : leaves) leaf.zero_grad();
+  Var out = fn(leaves);
+  SF_CHECK(out.numel() == 1) << "grad_check function must return a scalar";
+  backward(out);
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (auto& leaf : leaves) analytic.push_back(leaf.grad());
+
+  // Central differences per element.
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    Tensor& value = leaves[li].mutable_value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      float orig = value.at(i);
+      value.at(i) = orig + step;
+      float f_plus = fn(leaves).value().at(0);
+      value.at(i) = orig - step;
+      float f_minus = fn(leaves).value().at(0);
+      value.at(i) = orig;
+
+      float numeric = (f_plus - f_minus) / (2.0f * step);
+      float exact = analytic[li].at(i);
+      float abs_err = std::fabs(numeric - exact);
+      float denom = std::max(1.0f, std::max(std::fabs(numeric), std::fabs(exact)));
+      float rel_err = abs_err / denom;
+      result.max_abs_err = std::max(result.max_abs_err, abs_err);
+      result.max_rel_err = std::max(result.max_rel_err, rel_err);
+      if (abs_err > tol_abs && rel_err > tol_rel) {
+        result.ok = false;
+        if (result.detail.empty()) {
+          std::ostringstream os;
+          os << "leaf " << li << " elem " << i << ": analytic=" << exact
+             << " numeric=" << numeric;
+          result.detail = os.str();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sf::autograd

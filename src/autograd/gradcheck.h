@@ -1,0 +1,27 @@
+// Numerical gradient checking for autograd ops and model modules.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace sf::autograd {
+
+struct GradCheckResult {
+  bool ok = true;
+  float max_abs_err = 0.0f;
+  float max_rel_err = 0.0f;
+  std::string detail;
+};
+
+/// Checks d(scalar fn)/d(inputs) against central finite differences.
+/// `fn` must rebuild the graph from the given leaves on every call (the
+/// leaves' values are perturbed in place between calls).
+GradCheckResult grad_check(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    std::vector<Var>& leaves, float step = 1e-3f, float tol_abs = 5e-2f,
+    float tol_rel = 5e-2f);
+
+}  // namespace sf::autograd

@@ -1,0 +1,240 @@
+// AlphaFold-specific differentiable primitives: outer product mean,
+// triangle multiplication, pairwise distances.
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/error.h"
+
+namespace sf::autograd {
+
+Var outer_product_mean(const Var& a, const Var& b) {
+  SF_CHECK(a.shape().size() == 3 && b.shape().size() == 3);
+  const int64_t s = a.shape()[0];
+  const int64_t r = a.shape()[1];
+  const int64_t u = a.shape()[2];
+  SF_CHECK(b.shape()[0] == s && b.shape()[1] == r);
+  const int64_t v = b.shape()[2];
+
+  Tensor out({r, r, u * v});
+  const float* ad = a.value().data();
+  const float* bd = b.value().data();
+  float* od = out.data();
+  const float inv_s = 1.0f / static_cast<float>(s);
+  for (int64_t ss = 0; ss < s; ++ss) {
+    for (int64_t i = 0; i < r; ++i) {
+      const float* ai = ad + (ss * r + i) * u;
+      for (int64_t j = 0; j < r; ++j) {
+        const float* bj = bd + (ss * r + j) * v;
+        float* oij = od + (i * r + j) * u * v;
+        for (int64_t uu = 0; uu < u; ++uu) {
+          float av = ai[uu] * inv_s;
+          for (int64_t vv = 0; vv < v; ++vv) {
+            oij[uu * v + vv] += av * bj[vv];
+          }
+        }
+      }
+    }
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(std::move(out), {a, b},
+                 [an, bn, s, r, u, v](const Tensor& up) {
+    const float inv_s = 1.0f / static_cast<float>(s);
+    const float* ud = up.data();
+    const float* ad = an->value.data();
+    const float* bd = bn->value.data();
+    Tensor da(an->value.shape());
+    Tensor db(bn->value.shape());
+    float* dad = da.data();
+    float* dbd = db.data();
+    for (int64_t ss = 0; ss < s; ++ss) {
+      for (int64_t i = 0; i < r; ++i) {
+        const float* ai = ad + (ss * r + i) * u;
+        float* dai = dad + (ss * r + i) * u;
+        for (int64_t j = 0; j < r; ++j) {
+          const float* bj = bd + (ss * r + j) * v;
+          float* dbj = dbd + (ss * r + j) * v;
+          const float* uij = ud + (i * r + j) * u * v;
+          for (int64_t uu = 0; uu < u; ++uu) {
+            float acc_a = 0.0f;
+            float a_val = ai[uu] * inv_s;
+            for (int64_t vv = 0; vv < v; ++vv) {
+              float g = uij[uu * v + vv];
+              acc_a += g * bj[vv];
+              dbj[vv] += g * a_val;
+            }
+            dai[uu] += acc_a * inv_s;
+          }
+        }
+      }
+    }
+    if (an->requires_grad) an->accumulate_grad(da);
+    if (bn->requires_grad) bn->accumulate_grad(db);
+  });
+}
+
+Var triangle_multiply(const Var& a, const Var& b, bool outgoing) {
+  SF_CHECK(a.shape().size() == 3 && a.shape() == b.shape());
+  SF_CHECK(a.shape()[0] == a.shape()[1]) << "triangle ops need square pair rep";
+  const int64_t r = a.shape()[0];
+  const int64_t c = a.shape()[2];
+
+  Tensor out({r, r, c});
+  const float* ad = a.value().data();
+  const float* bd = b.value().data();
+  float* od = out.data();
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < r; ++j) {
+      float* oij = od + (i * r + j) * c;
+      for (int64_t k = 0; k < r; ++k) {
+        // outgoing: a[i,k,:] * b[j,k,:]; incoming: a[k,i,:] * b[k,j,:]
+        const float* av = outgoing ? ad + (i * r + k) * c : ad + (k * r + i) * c;
+        const float* bv = outgoing ? bd + (j * r + k) * c : bd + (k * r + j) * c;
+        for (int64_t cc = 0; cc < c; ++cc) oij[cc] += av[cc] * bv[cc];
+      }
+    }
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(std::move(out), {a, b},
+                 [an, bn, r, c, outgoing](const Tensor& up) {
+    const float* ud = up.data();
+    const float* ad = an->value.data();
+    const float* bd = bn->value.data();
+    Tensor da(an->value.shape());
+    Tensor db(bn->value.shape());
+    float* dad = da.data();
+    float* dbd = db.data();
+    for (int64_t i = 0; i < r; ++i) {
+      for (int64_t j = 0; j < r; ++j) {
+        const float* uij = ud + (i * r + j) * c;
+        for (int64_t k = 0; k < r; ++k) {
+          int64_t a_off = outgoing ? (i * r + k) * c : (k * r + i) * c;
+          int64_t b_off = outgoing ? (j * r + k) * c : (k * r + j) * c;
+          const float* av = ad + a_off;
+          const float* bv = bd + b_off;
+          float* dav = dad + a_off;
+          float* dbv = dbd + b_off;
+          for (int64_t cc = 0; cc < c; ++cc) {
+            dav[cc] += uij[cc] * bv[cc];
+            dbv[cc] += uij[cc] * av[cc];
+          }
+        }
+      }
+    }
+    if (an->requires_grad) an->accumulate_grad(da);
+    if (bn->requires_grad) bn->accumulate_grad(db);
+  });
+}
+
+Var pairwise_dist(const Var& pos, float eps) {
+  SF_CHECK(pos.shape().size() == 2 && pos.shape()[1] == 3)
+      << "pairwise_dist expects [R,3]";
+  const int64_t r = pos.shape()[0];
+  Tensor out({r, r});
+  const float* p = pos.value().data();
+  float* od = out.data();
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < r; ++j) {
+      float dx = p[i * 3] - p[j * 3];
+      float dy = p[i * 3 + 1] - p[j * 3 + 1];
+      float dz = p[i * 3 + 2] - p[j * 3 + 2];
+      od[i * r + j] = std::sqrt(dx * dx + dy * dy + dz * dz + eps);
+    }
+  }
+  auto pn = pos.node();
+  Tensor dist = out;  // shares buffer
+  return make_op(std::move(out), {pos}, [pn, dist, r](const Tensor& up) {
+    const float* p = pn->value.data();
+    const float* ud = up.data();
+    const float* dd = dist.data();
+    Tensor dp(pn->value.shape());
+    float* g = dp.data();
+    for (int64_t i = 0; i < r; ++i) {
+      for (int64_t j = 0; j < r; ++j) {
+        float d = dd[i * r + j];
+        if (d < 1e-9f) continue;
+        float u = ud[i * r + j] / d;
+        for (int k = 0; k < 3; ++k) {
+          float diff = p[i * 3 + k] - p[j * 3 + k];
+          g[i * 3 + k] += u * diff;
+          g[j * 3 + k] -= u * diff;
+        }
+      }
+    }
+    pn->accumulate_grad(dp);
+  });
+}
+
+Var add_bcast0(const Var& x, const Var& y) {
+  const int64_t inner = y.numel();
+  SF_CHECK(inner > 0 && x.numel() % inner == 0)
+      << "add_bcast0 inner-size mismatch";
+  const int64_t reps = x.numel() / inner;
+  Tensor out(x.shape());
+  const float* xd = x.value().data();
+  const float* yd = y.value().data();
+  float* od = out.data();
+  for (int64_t r = 0; r < reps; ++r) {
+    for (int64_t i = 0; i < inner; ++i) od[r * inner + i] = xd[r * inner + i] + yd[i];
+  }
+  auto xn = x.node();
+  auto yn = y.node();
+  return make_op(std::move(out), {x, y}, [xn, yn, reps, inner](const Tensor& up) {
+    if (xn->requires_grad) xn->accumulate_grad(up);
+    if (yn->requires_grad) {
+      Tensor dy(yn->value.shape());
+      const float* u = up.data();
+      float* d = dy.data();
+      for (int64_t r = 0; r < reps; ++r) {
+        for (int64_t i = 0; i < inner; ++i) d[i] += u[r * inner + i];
+      }
+      yn->accumulate_grad(dy);
+    }
+  });
+}
+
+Var outer_sum(const Var& a, const Var& b) {
+  SF_CHECK(a.shape().size() == 2 && a.shape() == b.shape());
+  const int64_t r = a.shape()[0];
+  const int64_t c = a.shape()[1];
+  Tensor out({r, r, c});
+  const float* ad = a.value().data();
+  const float* bd = b.value().data();
+  float* od = out.data();
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < r; ++j) {
+      float* oij = od + (i * r + j) * c;
+      for (int64_t cc = 0; cc < c; ++cc) oij[cc] = ad[i * c + cc] + bd[j * c + cc];
+    }
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(std::move(out), {a, b}, [an, bn, r, c](const Tensor& up) {
+    const float* u = up.data();
+    if (an->requires_grad) {
+      Tensor da(an->value.shape());
+      float* d = da.data();
+      for (int64_t i = 0; i < r; ++i) {
+        for (int64_t j = 0; j < r; ++j) {
+          const float* uij = u + (i * r + j) * c;
+          for (int64_t cc = 0; cc < c; ++cc) d[i * c + cc] += uij[cc];
+        }
+      }
+      an->accumulate_grad(da);
+    }
+    if (bn->requires_grad) {
+      Tensor db(bn->value.shape());
+      float* d = db.data();
+      for (int64_t i = 0; i < r; ++i) {
+        for (int64_t j = 0; j < r; ++j) {
+          const float* uij = u + (i * r + j) * c;
+          for (int64_t cc = 0; cc < c; ++cc) d[j * c + cc] += uij[cc];
+        }
+      }
+      bn->accumulate_grad(db);
+    }
+  });
+}
+
+}  // namespace sf::autograd

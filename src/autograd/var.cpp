@@ -1,0 +1,271 @@
+#include "autograd/var.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace sf::autograd {
+namespace {
+std::atomic<uint64_t> g_next_id{1};
+thread_local bool g_grad_enabled = true;
+}
+
+bool grad_enabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+void Node::accumulate_grad(const Tensor& delta) {
+  if (!grad.defined()) {
+    grad = delta.clone();
+  } else {
+    grad.add_(delta);
+  }
+}
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tensor Var::grad() const {
+  SF_CHECK(node_ != nullptr);
+  if (node_->grad.defined()) return node_->grad;
+  return Tensor::zeros(node_->value.shape());
+}
+
+void Var::zero_grad() {
+  SF_CHECK(node_ != nullptr);
+  node_->grad = Tensor();
+}
+
+Var Var::from_node(std::shared_ptr<Node> node) {
+  Var v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Var make_op(Tensor value, std::vector<Var> parents,
+            std::function<void(const Tensor& upstream)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  bool needs = false;
+  if (g_grad_enabled) {
+    for (const Var& p : parents) {
+      SF_CHECK(p.defined()) << "undefined parent Var";
+      needs = needs || p.requires_grad();
+      node->parents.push_back(p.node());
+    }
+  }
+  node->requires_grad = needs;
+  if (needs) node->backward = std::move(backward);
+  return Var::from_node(std::move(node));
+}
+
+namespace {
+void run_backward_multi(const std::vector<Var>& roots,
+                        const std::vector<Tensor>& seeds) {
+  // Collect the union reachable subgraph.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> seen;
+  std::vector<Node*> stack;
+  for (const Var& r : roots) stack.push_back(r.node().get());
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    order.push_back(n);
+    for (auto& p : n->parents) stack.push_back(p.get());
+  }
+  std::sort(order.begin(), order.end(),
+            [](Node* a, Node* b) { return a->id > b->id; });
+  for (size_t i = 0; i < roots.size(); ++i) {
+    roots[i].node()->accumulate_grad(seeds[i]);
+  }
+  for (Node* n : order) {
+    if (!n->requires_grad || !n->backward || !n->grad.defined()) continue;
+    n->backward(n->grad);
+  }
+}
+
+void run_backward(const Var& root, const Tensor& seed) {
+
+  // Collect the reachable subgraph.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> seen;
+  std::vector<Node*> stack{root.node().get()};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    order.push_back(n);
+    for (auto& p : n->parents) stack.push_back(p.get());
+  }
+  // Reverse creation order == topological order for a dynamic tape.
+  std::sort(order.begin(), order.end(),
+            [](Node* a, Node* b) { return a->id > b->id; });
+
+  root.node()->accumulate_grad(seed);
+  for (Node* n : order) {
+    if (!n->requires_grad || !n->backward || !n->grad.defined()) continue;
+    n->backward(n->grad);
+  }
+}
+}  // namespace
+
+void backward(const Var& root) {
+  SF_CHECK(root.defined());
+  SF_CHECK(root.numel() == 1) << "backward() root must be scalar";
+  run_backward(root, Tensor::ones(root.value().shape()));
+}
+
+void backward_seeded(const Var& root, const Tensor& seed) {
+  SF_CHECK(root.defined());
+  SF_CHECK(seed.shape() == root.value().shape())
+      << "seed shape" << shape_str(seed.shape()) << "vs root"
+      << shape_str(root.value().shape());
+  run_backward(root, seed);
+}
+
+void backward_seeded_multi(const std::vector<Var>& roots,
+                           const std::vector<Tensor>& seeds) {
+  SF_CHECK(roots.size() == seeds.size());
+  for (size_t i = 0; i < roots.size(); ++i) {
+    SF_CHECK(seeds[i].shape() == roots[i].value().shape());
+  }
+  run_backward_multi(roots, seeds);
+}
+
+std::vector<Var> checkpoint_multi(
+    const std::function<std::vector<Var>(const std::vector<Var>&)>& fn,
+    const std::vector<Var>& inputs) {
+  std::vector<Tensor> values;
+  {
+    NoGradGuard no_grad;
+    for (const Var& v : fn(inputs)) values.push_back(v.value().clone());
+  }
+  auto saved = std::make_shared<std::vector<Tensor>>();
+  for (const Var& in : inputs) saved->push_back(in.value().clone());
+  auto input_nodes = std::make_shared<std::vector<std::shared_ptr<Node>>>();
+  for (const Var& in : inputs) input_nodes->push_back(in.node());
+
+  // Create the output nodes first so the recompute closure can read every
+  // sibling's accumulated gradient.
+  std::vector<Var> outs;
+  outs.reserve(values.size());
+  for (Tensor& v : values) {
+    outs.push_back(make_op(std::move(v), inputs, nullptr));
+  }
+  // weak_ptr: the closure lives inside these very nodes; shared_ptr would
+  // create a reference cycle and leak every checkpointed segment.
+  auto out_nodes = std::make_shared<std::vector<std::weak_ptr<Node>>>();
+  for (const Var& o : outs) out_nodes->push_back(o.node());
+
+  auto fired = std::make_shared<bool>(false);
+  auto recompute = [fn, saved, input_nodes, out_nodes,
+                    fired](const Tensor& /*up*/) {
+    if (*fired) return;
+    *fired = true;
+    std::vector<Var> leaves;
+    for (const Tensor& t : *saved) leaves.emplace_back(t.clone(), true);
+    std::vector<Var> inner = fn(leaves);
+    SF_CHECK(inner.size() == out_nodes->size());
+    std::vector<Var> roots;
+    std::vector<Tensor> seeds;
+    for (size_t i = 0; i < inner.size(); ++i) {
+      auto on = (*out_nodes)[i].lock();
+      SF_CHECK(on != nullptr) << "checkpoint output node expired";
+      roots.push_back(inner[i]);
+      seeds.push_back(on->grad.defined()
+                          ? on->grad
+                          : Tensor::zeros(on->value.shape()));
+    }
+    run_backward_multi(roots, seeds);
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      if ((*input_nodes)[i]->requires_grad &&
+          leaves[i].node()->grad.defined()) {
+        (*input_nodes)[i]->accumulate_grad(leaves[i].node()->grad);
+      }
+    }
+  };
+  for (Var& o : outs) {
+    auto node = o.node();
+    node->requires_grad = true;
+    node->backward = recompute;
+  }
+  return outs;
+}
+
+Var checkpoint(const std::function<Var(const std::vector<Var>&)>& fn,
+               const std::vector<Var>& inputs) {
+  // Cheap forward: no tape inside the checkpointed segment.
+  Tensor value;
+  {
+    NoGradGuard no_grad;
+    value = fn(inputs).value().clone();
+  }
+  // Save detached copies of the inputs for re-execution.
+  auto saved = std::make_shared<std::vector<Tensor>>();
+  saved->reserve(inputs.size());
+  for (const Var& in : inputs) saved->push_back(in.value().clone());
+  std::vector<std::shared_ptr<Node>> input_nodes;
+  for (const Var& in : inputs) input_nodes.push_back(in.node());
+
+  // The segment may touch trainable parameters captured inside `fn` (the
+  // usual case: module weights), so the checkpoint node must run its
+  // backward even when no *explicit* input requires grad.
+  Var out = make_op(std::move(value), inputs,
+                    [fn, saved, input_nodes](const Tensor& up) {
+    // Recompute with autograd enabled on fresh leaves.
+    std::vector<Var> leaves;
+    leaves.reserve(saved->size());
+    for (const Tensor& t : *saved) leaves.emplace_back(t.clone(), true);
+    Var out = fn(leaves);
+    backward_seeded(out, up);
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      if (input_nodes[i]->requires_grad && leaves[i].node()->grad.defined()) {
+        input_nodes[i]->accumulate_grad(leaves[i].node()->grad);
+      }
+    }
+  });
+  // Force participation in backward (see comment above). make_op only set
+  // requires_grad from the explicit inputs.
+  auto node = out.node();
+  if (!node->requires_grad) {
+    node->requires_grad = true;
+    // Re-attach the backward that make_op dropped.
+    node->backward = [fn, saved, input_nodes](const Tensor& up) {
+      std::vector<Var> leaves;
+      leaves.reserve(saved->size());
+      for (const Tensor& t : *saved) leaves.emplace_back(t.clone(), true);
+      Var inner = fn(leaves);
+      backward_seeded(inner, up);
+      for (size_t i = 0; i < leaves.size(); ++i) {
+        if (input_nodes[i]->requires_grad &&
+            leaves[i].node()->grad.defined()) {
+          input_nodes[i]->accumulate_grad(leaves[i].node()->grad);
+        }
+      }
+    };
+  }
+  return out;
+}
+
+size_t reachable_nodes(const Var& root) {
+  std::unordered_set<Node*> seen;
+  std::vector<Node*> stack{root.node().get()};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    for (auto& p : n->parents) stack.push_back(p.get());
+  }
+  return seen.size();
+}
+
+}  // namespace sf::autograd

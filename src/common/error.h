@@ -1,0 +1,51 @@
+// Error handling primitives for ScaleFold-CPP.
+//
+// We use exceptions for programmer errors (shape mismatches, bad configs)
+// so that tests can assert on failure, and SF_CHECK as the single
+// precondition-checking macro throughout the codebase.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sf {
+
+/// Exception type thrown by all SF_CHECK failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Builds a formatted error message, then throws sf::Error.
+/// Kept out-of-line behind a stream so the happy path stays cheap.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* cond, const char* file, int line) {
+    os_ << file << ":" << line << " check failed: " << cond;
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    os_ << " " << v;
+    return *this;
+  }
+  [[noreturn]] ~CheckFailStream() noexcept(false) { throw Error(os_.str()); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace sf
+
+/// Precondition check: throws sf::Error with file/line context on failure.
+/// Extra context may be streamed: SF_CHECK(a == b) << "a=" << a;
+#define SF_CHECK(cond)                                          \
+  if (cond) {                                                   \
+  } else                                                        \
+    ::sf::detail::CheckFailStream(#cond, __FILE__, __LINE__)
+
+/// Unconditional failure with message.
+#define SF_FAIL(msg) SF_CHECK(false) << (msg)

@@ -1,0 +1,17 @@
+#include "common/rng.h"
+
+namespace sf {
+
+void fill_normal(Rng& rng, float* data, size_t n, float mean, float stddev) {
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+}
+
+void fill_uniform(Rng& rng, float* data, size_t n, float lo, float hi) {
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+}
+
+}  // namespace sf

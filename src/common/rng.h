@@ -1,0 +1,84 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the library (weight init, synthetic protein
+// sampling, straggler injection) flows through sf::Rng so experiments are
+// reproducible from a single seed. SplitMix64 core: tiny, fast, passes
+// BigCrush, and trivially splittable for per-worker streams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sf {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5ca1ef01dULL) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64).
+  uint64_t next_u64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t uniform_int(uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Log-normal: exp(N(mu, sigma)). Used for long-tailed batch-prep times
+  /// and sequence-length distributions (ScaleFold Fig. 4 spans ~3 decades).
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Exponential with given rate.
+  double exponential(double rate) {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / rate;
+  }
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derive an independent child stream (for per-worker determinism).
+  Rng split() { return Rng(next_u64() ^ 0xdeadbeefcafef00dULL); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(uniform_int(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Fill helpers used by tensor init code.
+void fill_normal(Rng& rng, float* data, size_t n, float mean, float stddev);
+void fill_uniform(Rng& rng, float* data, size_t n, float lo, float hi);
+
+}  // namespace sf

@@ -1,0 +1,122 @@
+#include "core/session.h"
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace sf::core {
+
+void ScaleFoldOptions::sync_dims() {
+  model.crop_len = dataset.crop_len;
+  model.msa_rows = dataset.msa_rows;
+  model.msa_feat_dim = data::kMsaFeatDim;
+  model.num_aa = data::kNumAminoAcids;
+  model.use_flash_mha = flash_mha;
+  model.use_fused_layernorm = fused_layernorm;
+  model.bf16_activations = bf16_activations;
+  if (gradient_checkpointing) model.gradient_checkpointing = true;
+  if (aux_losses) model.aux_losses = true;
+  train.opt.fused = fused_optimizer;
+  train.opt.bucketed_grad_norm = bucketed_grad_norm;
+}
+
+sim::Toggles ScaleFoldOptions::sim_toggles() const {
+  sim::Toggles t;
+  t.nonblocking_loader = nonblocking_loader;
+  t.triton_mha = flash_mha;
+  t.triton_ln = fused_layernorm;
+  t.fused_adam_swa = fused_optimizer;
+  t.bf16 = bf16_activations;
+  return t;
+}
+
+TrainingSession::TrainingSession(ScaleFoldOptions options)
+    : options_(std::move(options)) {
+  options_.sync_dims();
+  dataset_ = std::make_unique<data::SyntheticProteinDataset>(options_.dataset);
+  net_ = std::make_unique<model::MiniAlphaFold>(options_.model, options_.seed);
+  trainer_ = std::make_unique<train::Trainer>(*net_, options_.train);
+
+  if (options_.eval_every_steps > 0 || options_.eval_samples > 0) {
+    // Evaluation set: the last eval_samples indices of the dataset.
+    std::vector<int64_t> eval_idx;
+    for (int64_t i = 0; i < options_.eval_samples; ++i) {
+      eval_idx.push_back(dataset_->size() - 1 - i);
+    }
+    eval_cache_ = std::make_shared<train::EvalCache>(
+        *dataset_, eval_idx, options_.cached_eval,
+        "/tmp/scalefold_evalcache_" + std::to_string(options_.seed));
+    if (options_.async_eval) {
+      async_eval_ = std::make_unique<train::AsyncEvaluator>(
+          options_.model, eval_cache_, options_.eval_recycles);
+    }
+  }
+}
+
+TrainingSession::~TrainingSession() = default;
+
+std::vector<StepRecord> TrainingSession::run(int64_t steps) {
+  SF_CHECK(steps > 0);
+  // Fresh loader over the next `steps` dataset indices (training indices
+  // never touch the eval tail).
+  const int64_t train_space = dataset_->size() - options_.eval_samples;
+  SF_CHECK(batches_consumed_ + steps <= train_space)
+      << "dataset too small for" << steps << "more steps";
+  data::LoaderConfig lc;
+  lc.num_workers = options_.loader_workers;
+  lc.max_in_flight = options_.loader_prefetch;
+  lc.policy = options_.nonblocking_loader ? data::YieldPolicy::kReadyFirst
+                                          : data::YieldPolicy::kInOrder;
+  const int64_t base = batches_consumed_;
+  auto loader = std::make_unique<data::PrefetchLoader>(
+      [this, base](int64_t i) { return dataset_->prepare_batch(base + i); },
+      steps, lc);
+
+  std::vector<StepRecord> records;
+  records.reserve(steps);
+  for (int64_t s = 0; s < steps; ++s) {
+    Timer wait_timer;
+    data::Batch batch = loader->next();
+    double wait = wait_timer.elapsed();
+    total_data_wait_ += wait;
+
+    auto step = trainer_->train_step(batch);
+    StepRecord rec;
+    rec.step = trainer_->step();
+    rec.loss = step.loss;
+    rec.lddt = step.lddt;
+    rec.grad_norm = step.grad_norm;
+    rec.step_seconds = step.seconds;
+    rec.data_wait_seconds = wait;
+    records.push_back(rec);
+
+    if (options_.eval_every_steps > 0 &&
+        trainer_->step() % options_.eval_every_steps == 0) {
+      if (async_eval_) {
+        async_eval_->submit(trainer_->step(), net_->params().all());
+      } else if (eval_cache_) {
+        evaluate_now();
+      }
+    }
+  }
+  batches_consumed_ += steps;
+  return records;
+}
+
+train::EvalResult TrainingSession::evaluate_now() {
+  SF_CHECK(eval_cache_ != nullptr) << "session has no evaluation set";
+  auto& opt = trainer_->optimizer();
+  const bool use_swa = opt.config().use_swa && opt.step_count() > 0;
+  if (use_swa) opt.swap_in_swa();
+  auto batches = eval_cache_->fetch_all();
+  auto result = train::evaluate(*net_, batches, options_.eval_recycles);
+  if (use_swa) opt.restore_live();
+  return result;
+}
+
+std::vector<train::AsyncEvaluator::Report>
+TrainingSession::drain_eval_reports() {
+  if (!async_eval_) return {};
+  return async_eval_->wait_all();
+}
+
+}  // namespace sf::core

@@ -1,0 +1,97 @@
+// TrainingSession: the ScaleFold method as one orchestrated object.
+//
+// Wires together the real components this library implements — synthetic
+// dataset, blocking/non-blocking loader, mini-AlphaFold, fused/unfused
+// optimizer, sync/async evaluation with DRAM/disk eval sets — under a
+// single options struct whose switches mirror the paper's eight
+// optimizations. Examples and several benches run entirely through this
+// class; the same options map onto the cluster simulator's toggles for
+// the paper-scale figures.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "data/loader.h"
+#include "model/alphafold.h"
+#include "sim/cluster.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+
+namespace sf::core {
+
+struct ScaleFoldOptions {
+  // The paper's optimization set (§5), at mini scale.
+  bool nonblocking_loader = true;   ///< §3.2 ready-first pipeline
+  bool flash_mha = true;            ///< §3.3.1 fused MHA kernel
+  bool fused_layernorm = true;      ///< §3.3.1 fused LN kernel
+  bool fused_optimizer = true;      ///< §3.3.1 fused Adam+SWA
+  bool bucketed_grad_norm = true;   ///< §3.3.1 grad-clip via buckets
+  bool bf16_activations = false;    ///< §3.4 bf16 numerics
+  bool async_eval = true;           ///< §3.4 offloaded evaluation
+  bool cached_eval = true;          ///< §3.4 eval set in DRAM vs disk
+  bool gradient_checkpointing = false;  ///< §2.2/§4.1 memory-speed trade
+  bool aux_losses = false;          ///< masked-MSA + distogram heads
+
+  model::ModelConfig model;
+  data::DatasetConfig dataset;
+  train::TrainConfig train;
+
+  int loader_workers = 2;
+  int loader_prefetch = 4;
+  int64_t eval_samples = 4;
+  int64_t eval_every_steps = 0;  ///< 0 = no periodic evaluation
+  int64_t eval_recycles = 1;
+  uint64_t seed = 2024;
+
+  /// Make the model dims consistent with the dataset featurization.
+  void sync_dims();
+
+  /// The same switches expressed as cluster-simulator toggles.
+  sim::Toggles sim_toggles() const;
+};
+
+struct StepRecord {
+  int64_t step = 0;
+  float loss = 0;
+  float lddt = 0;
+  float grad_norm = 0;
+  double step_seconds = 0;
+  double data_wait_seconds = 0;
+};
+
+class TrainingSession {
+ public:
+  explicit TrainingSession(ScaleFoldOptions options);
+  ~TrainingSession();
+
+  /// Train for `steps` optimization steps, pulling batches through the
+  /// configured loader and submitting evaluations on cadence.
+  std::vector<StepRecord> run(int64_t steps);
+
+  /// Evaluate the current (SWA if enabled) weights synchronously.
+  train::EvalResult evaluate_now();
+
+  /// Completed async evaluation reports so far (empty in sync mode).
+  std::vector<train::AsyncEvaluator::Report> drain_eval_reports();
+
+  model::MiniAlphaFold& net() { return *net_; }
+  train::Trainer& trainer() { return *trainer_; }
+  const data::SyntheticProteinDataset& dataset() const { return *dataset_; }
+  const ScaleFoldOptions& options() const { return options_; }
+  double total_data_wait_seconds() const { return total_data_wait_; }
+
+ private:
+  ScaleFoldOptions options_;
+  std::unique_ptr<data::SyntheticProteinDataset> dataset_;
+  std::unique_ptr<model::MiniAlphaFold> net_;
+  std::unique_ptr<train::Trainer> trainer_;
+  std::shared_ptr<train::EvalCache> eval_cache_;
+  std::unique_ptr<train::AsyncEvaluator> async_eval_;
+  std::unique_ptr<data::PrefetchLoader> loader_;
+  int64_t batches_consumed_ = 0;
+  double total_data_wait_ = 0.0;
+};
+
+}  // namespace sf::core

@@ -1,0 +1,141 @@
+#include "dap/communicator.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace sf::dap {
+
+Communicator::Communicator(int world_size) : n_(world_size) {
+  SF_CHECK(world_size >= 1);
+  send_ptr_.assign(n_, nullptr);
+  recv_ptr_.assign(n_, nullptr);
+  count_.assign(n_, 0);
+}
+
+void Communicator::barrier_locked(std::unique_lock<std::mutex>& lock) {
+  uint64_t gen = generation_;
+  if (++arrived_ == n_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+}
+
+void Communicator::barrier(int rank) {
+  SF_CHECK(rank >= 0 && rank < n_);
+  std::unique_lock<std::mutex> lock(mu_);
+  barrier_locked(lock);
+}
+
+void Communicator::all_gather(int rank, std::span<const float> chunk,
+                              std::span<float> out) {
+  SF_CHECK(rank >= 0 && rank < n_);
+  SF_CHECK(out.size() == chunk.size() * static_cast<size_t>(n_))
+      << "all_gather output must hold world_size chunks";
+  std::unique_lock<std::mutex> lock(mu_);
+  send_ptr_[rank] = chunk.data();
+  count_[rank] = chunk.size();
+  if (rank == 0) {
+    ++stats_.collectives;
+    stats_.bytes_gathered += sizeof(float) * chunk.size() * (n_ - 1);
+  }
+  barrier_locked(lock);
+  SF_CHECK(count_[0] == chunk.size()) << "all_gather chunk size mismatch";
+  lock.unlock();
+  for (int r = 0; r < n_; ++r) {
+    std::memcpy(out.data() + static_cast<size_t>(r) * chunk.size(),
+                send_ptr_[r], sizeof(float) * chunk.size());
+  }
+  lock.lock();
+  barrier_locked(lock);  // keep every rank's chunk alive until all copied
+}
+
+void Communicator::all_reduce_sum(int rank, std::span<float> buf) {
+  SF_CHECK(rank >= 0 && rank < n_);
+  std::unique_lock<std::mutex> lock(mu_);
+  recv_ptr_[rank] = buf.data();
+  count_[rank] = buf.size();
+  if (rank == 0) {
+    reduce_buf_.assign(buf.size(), 0.0f);
+    ++stats_.collectives;
+    stats_.bytes_reduced +=
+        2.0 * sizeof(float) * buf.size() * (n_ - 1) / n_;
+  }
+  barrier_locked(lock);
+  SF_CHECK(count_[0] == buf.size()) << "all_reduce size mismatch";
+  // Each rank reduces its slice across all ranks (rank order: exact
+  // determinism regardless of thread scheduling).
+  const size_t len = buf.size();
+  const size_t begin = len * rank / n_;
+  const size_t end = len * (rank + 1) / n_;
+  lock.unlock();
+  for (size_t i = begin; i < end; ++i) {
+    float acc = 0.0f;
+    for (int r = 0; r < n_; ++r) acc += recv_ptr_[r][i];
+    reduce_buf_[i] = acc;
+  }
+  lock.lock();
+  barrier_locked(lock);
+  lock.unlock();
+  std::memcpy(buf.data(), reduce_buf_.data(), sizeof(float) * len);
+  lock.lock();
+  barrier_locked(lock);
+}
+
+void Communicator::reduce_scatter_sum(int rank, std::span<const float> full,
+                                      std::span<float> out) {
+  SF_CHECK(rank >= 0 && rank < n_);
+  SF_CHECK(full.size() % n_ == 0);
+  const size_t slice = full.size() / n_;
+  SF_CHECK(out.size() == slice);
+  std::unique_lock<std::mutex> lock(mu_);
+  send_ptr_[rank] = full.data();
+  count_[rank] = full.size();
+  if (rank == 0) {
+    ++stats_.collectives;
+    stats_.bytes_scattered += sizeof(float) * slice * (n_ - 1);
+  }
+  barrier_locked(lock);
+  SF_CHECK(count_[0] == full.size()) << "reduce_scatter size mismatch";
+  lock.unlock();
+  // Each rank reduces its own slice across all ranks, rank order.
+  const size_t begin = slice * rank;
+  for (size_t i = 0; i < slice; ++i) {
+    float acc = 0.0f;
+    for (int r = 0; r < n_; ++r) acc += send_ptr_[r][begin + i];
+    out[i] = acc;
+  }
+  lock.lock();
+  barrier_locked(lock);
+}
+
+void Communicator::all_to_all(int rank, std::span<const float> send,
+                              std::span<float> recv) {
+  SF_CHECK(rank >= 0 && rank < n_);
+  SF_CHECK(send.size() == recv.size());
+  SF_CHECK(send.size() % n_ == 0) << "all_to_all needs equal chunks";
+  const size_t chunk = send.size() / n_;
+  std::unique_lock<std::mutex> lock(mu_);
+  send_ptr_[rank] = send.data();
+  count_[rank] = send.size();
+  if (rank == 0) {
+    ++stats_.collectives;
+    stats_.bytes_exchanged += sizeof(float) * chunk * (n_ - 1);
+  }
+  barrier_locked(lock);
+  SF_CHECK(count_[0] == send.size()) << "all_to_all size mismatch";
+  lock.unlock();
+  for (int r = 0; r < n_; ++r) {
+    // Receive chunk destined for `rank` from rank r.
+    std::memcpy(recv.data() + static_cast<size_t>(r) * chunk,
+                send_ptr_[r] + static_cast<size_t>(rank) * chunk,
+                sizeof(float) * chunk);
+  }
+  lock.lock();
+  barrier_locked(lock);
+}
+
+}  // namespace sf::dap

@@ -1,0 +1,87 @@
+// In-process communicator for Dynamic Axial Parallelism (§2.3).
+//
+// DAP splits one sample's activations along a non-reductive axis across N
+// ranks, inserting all-gather and all-to-all collectives in forward and
+// backward. This communicator provides those collectives for N threads in
+// one process: deterministic (rank-ordered reductions), sense-reversing
+// barriers, and per-collective byte accounting so benches can report DAP
+// communication volume (the quantity the simulator's
+// kDapCommBytesPerStep models at paper scale).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace sf::dap {
+
+class Communicator {
+ public:
+  explicit Communicator(int world_size);
+
+  int world_size() const { return n_; }
+
+  /// Rendezvous for all ranks.
+  void barrier(int rank);
+
+  /// Each rank contributes `chunk` (equal numel across ranks); on return
+  /// every rank's `out` (numel = world_size * chunk) holds all chunks in
+  /// rank order.
+  void all_gather(int rank, std::span<const float> chunk,
+                  std::span<float> out);
+
+  /// Element-wise sum across ranks, result visible to every rank in `buf`
+  /// (equal numel across ranks). Reduction order is rank order —
+  /// deterministic.
+  void all_reduce_sum(int rank, std::span<float> buf);
+
+  /// Rank r's `send` is split into world_size equal chunks; chunk j goes
+  /// to rank j. On return `recv` holds, in rank order, the chunks destined
+  /// for this rank.
+  void all_to_all(int rank, std::span<const float> send,
+                  std::span<float> recv);
+
+  /// Reduce-scatter: element-wise sum of every rank's `full` buffer, of
+  /// which this rank receives only its own 1/world_size slice in `out`
+  /// (full.size() % world_size == 0). Half the volume of an all-reduce —
+  /// the §2.3 "communication optimization opportunity" DAP enables when
+  /// the consumer of a reduction is itself sharded.
+  void reduce_scatter_sum(int rank, std::span<const float> full,
+                          std::span<float> out);
+
+  struct Stats {
+    uint64_t collectives = 0;
+    uint64_t bytes_gathered = 0;
+    uint64_t bytes_reduced = 0;
+    uint64_t bytes_exchanged = 0;
+    uint64_t bytes_scattered = 0;
+    uint64_t total_bytes() const {
+      return bytes_gathered + bytes_reduced + bytes_exchanged +
+             bytes_scattered;
+    }
+  };
+  /// Aggregate over all ranks since construction (read when quiescent).
+  Stats stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  void barrier_locked(std::unique_lock<std::mutex>& lock);
+
+  const int n_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+
+  // Staging pointers deposited by each rank before a collective.
+  std::vector<const float*> send_ptr_;
+  std::vector<float*> recv_ptr_;
+  std::vector<size_t> count_;
+  std::vector<float> reduce_buf_;
+
+  Stats stats_;
+};
+
+}  // namespace sf::dap

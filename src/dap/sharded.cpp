@@ -1,0 +1,368 @@
+#include "dap/sharded.h"
+
+#include <cstring>
+
+#include "autograd/ops.h"
+#include "autograd/var.h"
+#include "common/error.h"
+
+namespace sf::dap {
+
+using autograd::NoGradGuard;
+using autograd::Var;
+
+Tensor shard_axis0(const Tensor& full, int rank, int world_size) {
+  SF_CHECK(!full.shape().empty());
+  const int64_t d0 = full.shape()[0];
+  SF_CHECK(d0 % world_size == 0)
+      << "axis 0 (" << d0 << ") not divisible by world size" << world_size;
+  const int64_t local = d0 / world_size;
+  const int64_t inner = full.numel() / d0;
+  Shape shard_shape = full.shape();
+  shard_shape[0] = local;
+  Tensor shard(shard_shape);
+  std::memcpy(shard.data(), full.data() + rank * local * inner,
+              sizeof(float) * local * inner);
+  return shard;
+}
+
+Tensor unshard_axis0(Communicator& comm, int rank, const Tensor& shard,
+                     int64_t full_dim0) {
+  Shape full_shape = shard.shape();
+  SF_CHECK(full_dim0 == shard.shape()[0] * comm.world_size());
+  full_shape[0] = full_dim0;
+  Tensor full(full_shape);
+  comm.all_gather(rank, shard.span(), full.span());
+  return full;
+}
+
+Tensor transpose_shard(Communicator& comm, int rank, const Tensor& shard,
+                       int64_t full_a, int64_t full_b, int64_t c) {
+  const int n = comm.world_size();
+  SF_CHECK(full_a % n == 0 && full_b % n == 0);
+  const int64_t la = full_a / n;  // local A rows held on input
+  const int64_t lb = full_b / n;  // local B columns held on output
+  SF_CHECK(shard.shape() == Shape({la, full_b, c}));
+
+  // Pack: chunk j = our A-rows restricted to B-columns [j*lb, (j+1)*lb).
+  Tensor send({n, la, lb, c});
+  for (int j = 0; j < n; ++j) {
+    for (int64_t a = 0; a < la; ++a) {
+      std::memcpy(send.data() + ((j * la + a) * lb) * c,
+                  shard.data() + (a * full_b + j * lb) * c,
+                  sizeof(float) * lb * c);
+    }
+  }
+  Tensor recv({n, la, lb, c});
+  comm.all_to_all(rank, send.span(), recv.span());
+  // Unpack: chunk from rank r supplies A-rows [r*la, (r+1)*la).
+  Tensor out({full_a, lb, c});
+  for (int r = 0; r < n; ++r) {
+    std::memcpy(out.data() + (r * la * lb) * c,
+                recv.data() + (r * la * lb) * c, sizeof(float) * la * lb * c);
+  }
+  return out;
+}
+
+Tensor untranspose_shard(Communicator& comm, int rank, const Tensor& shard,
+                         int64_t full_a, int64_t full_b, int64_t c) {
+  const int n = comm.world_size();
+  SF_CHECK(full_a % n == 0 && full_b % n == 0);
+  const int64_t la = full_a / n;
+  const int64_t lb = full_b / n;
+  SF_CHECK(shard.shape() == Shape({full_a, lb, c}));
+
+  // Pack: chunk j = our B-columns restricted to A-rows [j*la, (j+1)*la).
+  Tensor send({n, la, lb, c});
+  std::memcpy(send.data(), shard.data(), sizeof(float) * shard.numel());
+  // shard is already laid out [A, lb, c] = [n, la, lb, c] contiguously; the
+  // j-th [la, lb, c] block is exactly the chunk destined for rank j.
+  Tensor recv({n, la, lb, c});
+  comm.all_to_all(rank, send.span(), recv.span());
+  // Unpack: chunk from rank r carries our A-rows for B-columns
+  // [r*lb, (r+1)*lb); interleave them along axis B.
+  Tensor out({la, full_b, c});
+  for (int r = 0; r < n; ++r) {
+    for (int64_t a = 0; a < la; ++a) {
+      std::memcpy(out.data() + (a * full_b + r * lb) * c,
+                  recv.data() + ((r * la + a) * lb) * c,
+                  sizeof(float) * lb * c);
+    }
+  }
+  return out;
+}
+
+Tensor sharded_row_attention(const model::MSARowAttentionWithPairBias& module,
+                             Communicator& comm, int rank,
+                             const Tensor& msa_shard, const Tensor& pair_shard,
+                             int64_t full_r) {
+  NoGradGuard no_grad;
+  // Pattern 1: all-gather the pair shards so the bias covers all residue
+  // pairs; the MSA S-shard then computes independently.
+  Tensor pair_full = unshard_axis0(comm, rank, pair_shard, full_r);
+  Var out = module(Var(msa_shard, false), Var(pair_full, false), nullptr);
+  return out.value();
+}
+
+Tensor sharded_outer_product_mean(const model::OuterProductMean& module,
+                                  Communicator& comm, int rank,
+                                  const Tensor& msa_shard, int64_t full_s) {
+  NoGradGuard no_grad;
+  const int64_t local_s = msa_shard.shape()[0];
+  const int64_t r = msa_shard.shape()[1];
+  SF_CHECK(local_s * comm.world_size() == full_s);
+
+  // Local projections on the S-shard.
+  Var m = module.ln(Var(msa_shard, false));
+  Var a = module.a_proj(m);
+  Var b = module.b_proj(m);
+  const int64_t u = a.shape()[2];
+  const int64_t v = b.shape()[2];
+
+  // Pattern 2: partial outer-product sums over the local S rows, then
+  // all-reduce, then divide by the full S.
+  Tensor partial({r, r, u * v});
+  const float* ad = a.value().data();
+  const float* bd = b.value().data();
+  float* pd = partial.data();
+  for (int64_t s = 0; s < local_s; ++s) {
+    for (int64_t i = 0; i < r; ++i) {
+      const float* ai = ad + (s * r + i) * u;
+      for (int64_t j = 0; j < r; ++j) {
+        const float* bj = bd + (s * r + j) * v;
+        float* pij = pd + (i * r + j) * u * v;
+        for (int64_t uu = 0; uu < u; ++uu) {
+          for (int64_t vv = 0; vv < v; ++vv) {
+            pij[uu * v + vv] += ai[uu] * bj[vv];
+          }
+        }
+      }
+    }
+  }
+  comm.all_reduce_sum(rank, partial.span());
+  partial.scale_(1.0f / static_cast<float>(full_s));
+  Var out = module.out_proj(Var(partial, false));
+  return out.value();
+}
+
+Tensor sharded_column_attention(const model::MSAColumnAttention& module,
+                                Communicator& comm, int rank,
+                                const Tensor& msa_shard, int64_t full_s) {
+  NoGradGuard no_grad;
+  const int64_t local_s = msa_shard.shape()[0];
+  const int64_t r = msa_shard.shape()[1];
+  const int64_t c = msa_shard.shape()[2];
+  SF_CHECK(local_s * comm.world_size() == full_s);
+
+  // Pattern 3: rotate the shard axis S -> R so each rank owns all MSA
+  // rows for a residue slice, attend along S, rotate back.
+  Tensor col_shard = transpose_shard(comm, rank, msa_shard, full_s, r, c);
+  Var out = module(Var(col_shard, false));
+  return untranspose_shard(comm, rank, out.value(), full_s, r, c);
+}
+
+
+Tensor sharded_row_attention_biasgather(
+    const model::MSARowAttentionWithPairBias& module, Communicator& comm,
+    int rank, const Tensor& msa_shard, const Tensor& pair_shard,
+    int64_t full_r) {
+  NoGradGuard no_grad;
+  const int64_t heads = module.heads;
+  // Project the pair shard to the per-head bias locally, then gather the
+  // small [R/n, R, H] bias rows instead of the full [R/n, R, c_z] pair.
+  Var bias_shard = module.bias_proj(module.ln_pair(Var(pair_shard, false)));
+  Tensor bias_full = unshard_axis0(comm, rank, bias_shard.value(), full_r);
+  // [R, R, H] -> [H, R, R] for the attention kernel.
+  Var bias =
+      autograd::permute3(Var(bias_full, false), {2, 0, 1});
+
+  // Re-run the module body with the precomputed bias.
+  Var m = module.ln_msa(Var(msa_shard, false));
+  return module.attn(m, &bias, nullptr).value();
+  (void)heads;
+}
+
+Tensor sharded_outer_product_mean_scatter(
+    const model::OuterProductMean& module, Communicator& comm, int rank,
+    const Tensor& msa_shard, int64_t full_s) {
+  NoGradGuard no_grad;
+  const int64_t local_s = msa_shard.shape()[0];
+  const int64_t r = msa_shard.shape()[1];
+  SF_CHECK(local_s * comm.world_size() == full_s);
+  SF_CHECK(r % comm.world_size() == 0);
+
+  Var m = module.ln(Var(msa_shard, false));
+  Var a = module.a_proj(m);
+  Var b = module.b_proj(m);
+  const int64_t u = a.shape()[2];
+  const int64_t v = b.shape()[2];
+
+  Tensor partial({r, r, u * v});
+  const float* ad = a.value().data();
+  const float* bd = b.value().data();
+  float* pd = partial.data();
+  for (int64_t s = 0; s < local_s; ++s) {
+    for (int64_t i = 0; i < r; ++i) {
+      const float* ai = ad + (s * r + i) * u;
+      for (int64_t j = 0; j < r; ++j) {
+        const float* bj = bd + (s * r + j) * v;
+        float* pij = pd + (i * r + j) * u * v;
+        for (int64_t uu = 0; uu < u; ++uu) {
+          for (int64_t vv = 0; vv < v; ++vv) {
+            pij[uu * v + vv] += ai[uu] * bj[vv];
+          }
+        }
+      }
+    }
+  }
+  // Project to c_z locally *before* communicating (linear in the partial
+  // sums), then reduce-scatter so each rank receives only its pair rows.
+  // Bias must be added exactly once, after the reduction.
+  partial.scale_(1.0f / static_cast<float>(full_s));
+  Var projected = autograd::linear(Var(partial, false), module.out_proj.w);
+  const int64_t c_z = projected.shape()[2];
+  const int64_t rows_local = r / comm.world_size();
+  Tensor slice({rows_local, r, c_z});
+  comm.reduce_scatter_sum(rank, projected.value().span(), slice.span());
+  if (module.out_proj.b.defined()) {
+    const float* bias = module.out_proj.b.value().data();
+    float* sd = slice.data();
+    for (int64_t i = 0; i < rows_local * r; ++i) {
+      for (int64_t c = 0; c < c_z; ++c) sd[i * c_z + c] += bias[c];
+    }
+  }
+  return slice;
+}
+
+
+Tensor sharded_triangle_multiply(const model::TriangleMultiplication& module,
+                                 Communicator& comm, int rank,
+                                 const Tensor& pair_shard, int64_t full_r) {
+  NoGradGuard no_grad;
+  const int64_t lr = pair_shard.shape()[0];
+  const int64_t r = pair_shard.shape()[1];
+  const int64_t c = pair_shard.shape()[2];
+  SF_CHECK(lr * comm.world_size() == full_r && r == full_r);
+
+  Var x = module.ln_in(Var(pair_shard, false));
+  Tensor a = autograd::glu(module.a_proj(x), module.a_gate(x)).value();
+  Tensor b = autograd::glu(module.b_proj(x), module.b_gate(x)).value();
+
+  // Outgoing: t[i,j] = sum_k a[i,k] * b[j,k] — local i rows need the full
+  // b. Incoming: t[i,j] = sum_k a[k,i] * b[k,j] — full a AND b.
+  Tensor b_full = unshard_axis0(comm, rank, b, full_r);
+  Tensor a_full;
+  if (!module.outgoing) a_full = unshard_axis0(comm, rank, a, full_r);
+
+  Tensor t({lr, r, c});
+  float* td = t.data();
+  const float* ad = module.outgoing ? a.data() : a_full.data();
+  const float* bd = b_full.data();
+  const int64_t base = rank * lr;
+  for (int64_t il = 0; il < lr; ++il) {
+    for (int64_t j = 0; j < r; ++j) {
+      float* tij = td + (il * r + j) * c;
+      for (int64_t k = 0; k < r; ++k) {
+        const float* av = module.outgoing ? ad + (il * r + k) * c
+                                          : ad + (k * r + base + il) * c;
+        const float* bv = module.outgoing ? bd + (j * r + k) * c
+                                          : bd + (k * r + j) * c;
+        for (int64_t cc = 0; cc < c; ++cc) tij[cc] += av[cc] * bv[cc];
+      }
+    }
+  }
+  Var tn = module.ln_out(Var(t, false));
+  return autograd::glu(module.out_proj(tn), module.out_gate(x)).value();
+}
+
+namespace {
+
+// [A, B/n, C] per-rank layout -> local permute to [B/n, A, C].
+Tensor permute_local_01(const Tensor& t) {
+  const int64_t a = t.shape()[0], b = t.shape()[1], c = t.shape()[2];
+  Tensor out({b, a, c});
+  for (int64_t i = 0; i < a; ++i) {
+    for (int64_t j = 0; j < b; ++j) {
+      std::memcpy(out.data() + (j * a + i) * c, t.data() + (i * b + j) * c,
+                  sizeof(float) * c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor sharded_triangle_attention(const model::TriangleAttention& module,
+                                  Communicator& comm, int rank,
+                                  const Tensor& pair_shard, int64_t full_r) {
+  NoGradGuard no_grad;
+  const int64_t lr = pair_shard.shape()[0];
+  const int64_t r = pair_shard.shape()[1];
+  const int64_t c = pair_shard.shape()[2];
+  SF_CHECK(lr * comm.world_size() == full_r && r == full_r);
+
+  // ln is per-(i,j): local.
+  Tensor x = module.ln(Var(pair_shard, false)).value();
+  if (!module.starting) {
+    // Ending node: rotate so this rank holds rows of the transposed pair.
+    Tensor rotated = transpose_shard(comm, rank, x, full_r, full_r, c);
+    x = permute_local_01(rotated);  // [R/n, R, c] rows of x^T
+  }
+  // Bias needs every row: project locally, gather the small [.,.,H] rows.
+  Var bias_shard = module.bias_proj(Var(x, false));
+  Tensor bias_full = unshard_axis0(comm, rank, bias_shard.value(), full_r);
+  Var bias = autograd::permute3(Var(bias_full, false), {2, 0, 1});
+
+  Tensor out = module.attn(Var(x, false), &bias, nullptr).value();
+  if (!module.starting) {
+    // Rotate the update back to the original sharding.
+    Tensor unpermuted = permute_local_01(out);  // [R, R/n, c]
+    out = untranspose_shard(comm, rank, unpermuted, full_r, full_r, c);
+  }
+  return out;
+}
+
+namespace {
+
+void add_inplace(Tensor& dst, const Tensor& src) { dst.add_(src); }
+
+}  // namespace
+
+BlockShards sharded_evoformer_block(const model::EvoformerBlock& block,
+                                    Communicator& comm, int rank,
+                                    const Tensor& msa_shard,
+                                    const Tensor& pair_shard, int64_t full_s,
+                                    int64_t full_r) {
+  NoGradGuard no_grad;
+  BlockShards st;
+  st.msa = msa_shard.clone();
+  st.pair = pair_shard.clone();
+
+  // 1. MSA row attention with pair bias (all-gather of the projected bias).
+  add_inplace(st.msa, sharded_row_attention_biasgather(
+                          block.row_attn, comm, rank, st.msa, st.pair,
+                          full_r));
+  // 2. MSA column attention (distributed transpose there and back).
+  add_inplace(st.msa, sharded_column_attention(block.col_attn, comm, rank,
+                                               st.msa, full_s));
+  // 3. MSA transition: purely local.
+  add_inplace(st.msa, block.msa_transition(Var(st.msa, false)).value());
+  // 4. Outer product mean: project + reduce-scatter onto the pair shard.
+  add_inplace(st.pair, sharded_outer_product_mean_scatter(
+                           block.opm, comm, rank, st.msa, full_s));
+  // 5./6. Triangle multiplications (all-gather of gated operands).
+  add_inplace(st.pair, sharded_triangle_multiply(block.tri_mul_out, comm,
+                                                 rank, st.pair, full_r));
+  add_inplace(st.pair, sharded_triangle_multiply(block.tri_mul_in, comm,
+                                                 rank, st.pair, full_r));
+  // 7./8. Triangle attentions (bias gather; ending node rotates shards).
+  add_inplace(st.pair, sharded_triangle_attention(block.tri_attn_start, comm,
+                                                  rank, st.pair, full_r));
+  add_inplace(st.pair, sharded_triangle_attention(block.tri_attn_end, comm,
+                                                  rank, st.pair, full_r));
+  // 9. Pair transition: purely local.
+  add_inplace(st.pair, block.pair_transition(Var(st.pair, false)).value());
+  return st;
+}
+
+}  // namespace sf::dap

@@ -1,0 +1,120 @@
+// DAP-sharded Evoformer forwards (§2.3, FastFold's scheme as adopted by
+// ScaleFold).
+//
+// DAP keeps the model replicated but splits one sample's activations
+// along a non-reductive axis: the MSA representation [S,R,c_m] over its
+// sequence axis S, the pair representation [R,R,c_z] over its first
+// residue axis. The three canonical communication patterns are
+// implemented and tested for exact equivalence with the unsharded
+// modules:
+//
+//  1. all-gather   — MSA row attention needs the full pair rep to build
+//                    its bias: gather pair shards, then compute the local
+//                    S-shard with no further communication.
+//  2. all-reduce   — the outer product mean reduces over S: each rank
+//                    forms partial outer products from its S-shard and
+//                    the partial sums are all-reduced.
+//  3. all-to-all   — MSA column attention attends along S, so the shard
+//                    axis must rotate from S to R (and back): the
+//                    distributed transpose.
+//
+// All functions are forward-only (NoGradGuard inside) and are called from
+// one thread per rank sharing a Communicator.
+#pragma once
+
+#include "dap/communicator.h"
+#include "model/modules.h"
+#include "tensor/tensor.h"
+
+namespace sf::dap {
+
+/// Slice `full` [D0, ...] into this rank's [D0/n, ...] shard (D0 % n == 0).
+Tensor shard_axis0(const Tensor& full, int rank, int world_size);
+
+/// Inverse of shard_axis0 via all-gather (every rank returns the full
+/// tensor).
+Tensor unshard_axis0(Communicator& comm, int rank, const Tensor& shard,
+                     int64_t full_dim0);
+
+/// Distributed transpose between shardings of a [A, B, C] tensor:
+/// input is sharded over A ([A/n, B, C] per rank); output is sharded over
+/// B ([A, B/n, C] per rank). Requires A % n == 0 and B % n == 0.
+Tensor transpose_shard(Communicator& comm, int rank, const Tensor& shard,
+                       int64_t full_a, int64_t full_b, int64_t c);
+
+/// Inverse rotation: input sharded over B ([A, B/n, C] per rank), output
+/// sharded over A ([A/n, B, C] per rank).
+Tensor untranspose_shard(Communicator& comm, int rank, const Tensor& shard,
+                         int64_t full_a, int64_t full_b, int64_t c);
+
+/// MSA row attention with pair bias on an S-shard. `pair_shard` is the
+/// rank's [R/n, R, c_z] slice; it is all-gathered internally.
+/// Returns the module's residual update for the local MSA shard.
+Tensor sharded_row_attention(const model::MSARowAttentionWithPairBias& module,
+                             Communicator& comm, int rank,
+                             const Tensor& msa_shard, const Tensor& pair_shard,
+                             int64_t full_r);
+
+/// Outer product mean over an S-shard: partial outer products, all-reduce,
+/// projection. Returns the full [R,R,c_z] update (identical on all ranks).
+Tensor sharded_outer_product_mean(const model::OuterProductMean& module,
+                                  Communicator& comm, int rank,
+                                  const Tensor& msa_shard, int64_t full_s);
+
+/// MSA column attention on an S-shard via the distributed transpose:
+/// S-shard -> R-shard (all-to-all), attend over full S per column,
+/// all-to-all back. Returns the update for the local S-shard.
+Tensor sharded_column_attention(const model::MSAColumnAttention& module,
+                                Communicator& comm, int rank,
+                                const Tensor& msa_shard, int64_t full_s);
+
+/// Triangle multiplication on a row-sharded pair rep [R/n, R, c_z]:
+/// outgoing needs the full "b" operand rows (all-gather); returns the
+/// local row shard of the update.
+Tensor sharded_triangle_multiply(const model::TriangleMultiplication& module,
+                                 Communicator& comm, int rank,
+                                 const Tensor& pair_shard, int64_t full_r);
+
+/// Triangle attention on a row-sharded pair rep. Starting-node attends
+/// within each local row (bias needs the full pair: all-gather); the
+/// ending-node variant first rotates the shard axis with an all-to-all.
+Tensor sharded_triangle_attention(const model::TriangleAttention& module,
+                                  Communicator& comm, int rank,
+                                  const Tensor& pair_shard, int64_t full_r);
+
+/// One full Evoformer block forward under DAP: MSA sharded over S, pair
+/// sharded over its first residue axis, with the all-gather / all-reduce /
+/// all-to-all boundaries of §2.3 between modules. Returns this rank's
+/// shards of the updated representations. Exactly equivalent to
+/// EvoformerBlock::operator() on the unsharded inputs.
+struct BlockShards {
+  Tensor msa;   ///< [S/n, R, c_m]
+  Tensor pair;  ///< [R/n, R, c_z]
+};
+BlockShards sharded_evoformer_block(const model::EvoformerBlock& block,
+                                    Communicator& comm, int rank,
+                                    const Tensor& msa_shard,
+                                    const Tensor& pair_shard, int64_t full_s,
+                                    int64_t full_r);
+
+// ---- Communication-optimized variants (§2.3: DAP offers "lower
+// communication volume ... more opportunities for communication
+// optimization"). Numerically identical; benchmarked in bench_dap. ----
+
+/// Row attention gathering only the projected per-head bias [R/n, R, H]
+/// instead of the full pair representation [R/n, R, c_z]: c_z/H times
+/// less traffic.
+Tensor sharded_row_attention_biasgather(
+    const model::MSARowAttentionWithPairBias& module, Communicator& comm,
+    int rank, const Tensor& msa_shard, const Tensor& pair_shard,
+    int64_t full_r);
+
+/// Outer product mean that projects the partial sums to c_z *before*
+/// reducing and uses a reduce-scatter (the pair rep is row-sharded, so
+/// each rank only needs its rows): (u*v/c_z) x 2 less traffic.
+/// Returns the rank's [R/n, R, c_z] slice of the update.
+Tensor sharded_outer_product_mean_scatter(
+    const model::OuterProductMean& module, Communicator& comm, int rank,
+    const Tensor& msa_shard, int64_t full_s);
+
+}  // namespace sf::dap

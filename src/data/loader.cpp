@@ -1,0 +1,102 @@
+#include "data/loader.h"
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace sf::data {
+
+PrefetchLoader::PrefetchLoader(BatchFn make_batch, int64_t num_batches,
+                               LoaderConfig config)
+    : make_batch_(std::move(make_batch)),
+      num_batches_(num_batches),
+      config_(config) {
+  SF_CHECK(num_batches_ >= 0);
+  SF_CHECK(config_.num_workers > 0);
+  SF_CHECK(config_.max_in_flight >= config_.num_workers)
+      << "prefetch depth must cover all workers";
+  workers_.reserve(config_.num_workers);
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PrefetchLoader::~PrefetchLoader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_space_.notify_all();
+  cv_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool PrefetchLoader::has_next() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return yielded_ < num_batches_;
+}
+
+void PrefetchLoader::worker_loop() {
+  for (;;) {
+    int64_t idx;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_space_.wait(lock, [this] {
+        return stop_ || (next_to_schedule_ < num_batches_ &&
+                         in_flight_ < config_.max_in_flight);
+      });
+      if (stop_ || next_to_schedule_ >= num_batches_) return;
+      idx = next_to_schedule_++;
+      ++in_flight_;
+    }
+    try {
+      Batch batch = make_batch_(idx);
+      std::lock_guard<std::mutex> lock(mu_);
+      ready_.emplace(idx, std::move(batch));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!worker_error_) worker_error_ = std::current_exception();
+      stop_ = true;  // wake everyone; the consumer rethrows
+    }
+    cv_ready_.notify_all();
+    cv_space_.notify_all();
+  }
+}
+
+Batch PrefetchLoader::next() {
+  Timer wait_timer;
+  std::unique_lock<std::mutex> lock(mu_);
+  SF_CHECK(yielded_ < num_batches_) << "next() past end of loader";
+
+  Batch batch;
+  if (config_.policy == YieldPolicy::kInOrder) {
+    // Strict sampler order: wait for exactly the next index, even when
+    // later batches are already sitting in the buffer (Fig. 5 (i)).
+    cv_ready_.wait(lock, [this] {
+      return worker_error_ || ready_.count(next_in_order_) > 0;
+    });
+    if (worker_error_) std::rethrow_exception(worker_error_);
+    auto it = ready_.find(next_in_order_);
+    batch = std::move(it->second);
+    ready_.erase(it);
+    ++next_in_order_;
+  } else {
+    // Ready-first: take the smallest-index batch that is already done
+    // (std::map iteration order = priority queue by index), Fig. 5 (ii).
+    cv_ready_.wait(lock, [this] { return worker_error_ || !ready_.empty(); });
+    if (worker_error_) std::rethrow_exception(worker_error_);
+    auto it = ready_.begin();
+    batch = std::move(it->second);
+    ready_.erase(it);
+  }
+  ++yielded_;
+  --in_flight_;
+  stats_.consumer_wait_seconds += wait_timer.elapsed();
+  stats_.batches_yielded = yielded_;
+  stats_.yield_order.push_back(batch.index);
+  stats_.prep_seconds.push_back(batch.prep_seconds);
+  lock.unlock();
+  cv_space_.notify_all();
+  return batch;
+}
+
+}  // namespace sf::data

@@ -1,0 +1,115 @@
+// Synthetic protein dataset: the OpenFold-data substitute.
+//
+// The real OpenFold dataset (PDB structures + MSAs) is unavailable here.
+// What the ScaleFold experiments need from the data is:
+//   1. a long-tailed joint distribution of sequence length and MSA depth —
+//      Fig. 4 shows batch preparation times spanning ~3 decades with a
+//      ~10% slow tail, which is what blocks the in-order pipeline;
+//   2. real featurization work proportional to (length x MSA depth), so
+//      preparation time genuinely varies per sample;
+//   3. a learnable sequence -> structure mapping so the mini-AlphaFold can
+//      demonstrate convergence (Fig. 11) with an lDDT-Ca metric.
+//
+// We generate sequences over a 20-letter alphabet, derive a deterministic
+// backbone fold from the sequence (a residue-dependent discrete worm-like
+// curve: each residue's torsion offsets depend on its identity and local
+// window), synthesize an MSA by stochastic mutation, and featurize with
+// one-hot + MSA profile features before cropping — mirroring the shape of
+// the AlphaFold input pipeline (§2.1 "Data loading ... crops these
+// sequences to a predefined length").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace sf::data {
+
+inline constexpr int64_t kNumAminoAcids = 20;
+/// Per-position MSA feature width: one-hot target + profile + gap stats.
+inline constexpr int64_t kMsaFeatDim = kNumAminoAcids + kNumAminoAcids + 2;
+/// Distance bins for template pair features (AF2 uses 39 distogram bins;
+/// scaled down with the rest of the model).
+inline constexpr int64_t kTemplateBins = 8;
+inline constexpr float kTemplateBinWidth = 4.0f;
+
+/// Static metadata of one dataset element (known before preparation).
+struct SampleMeta {
+  int64_t index = 0;
+  int64_t seq_len = 0;
+  int64_t msa_depth = 0;
+};
+
+/// A prepared (featurized + cropped) training batch element.
+struct Batch {
+  int64_t index = -1;
+  Tensor seq_onehot;    ///< [crop_len, kNumAminoAcids]
+  Tensor msa_feat;      ///< [msa_rows, crop_len, kMsaFeatDim]
+  Tensor template_feat; ///< [crop_len, crop_len, kTemplateBins] binned
+                        ///< pairwise distances of a homolog's fold
+  Tensor target_pos;    ///< [crop_len, 3] ground-truth C-alpha coordinates
+  Tensor residue_mask;  ///< [crop_len] 1 for real residues, 0 for padding
+  double prep_seconds = 0.0;
+};
+
+struct DatasetConfig {
+  int64_t num_samples = 1000;
+  /// Mutation rate of the homolog whose fold supplies template features
+  /// (structurally related to, but distinct from, the target).
+  double template_mutation_rate = 0.2;
+  int64_t crop_len = 48;   ///< residue crop (paper: 256)
+  int64_t msa_rows = 8;    ///< MSA rows kept after cropping (paper: 128+)
+  /// Log-normal parameters for sequence length; defaults give a median
+  /// ~190 residues with a heavy right tail (multi-thousand-residue
+  /// proteins), matching the PDB length distribution shape.
+  double len_log_mean = 5.25;
+  double len_log_sigma = 0.65;
+  int64_t min_seq_len = 16;
+  int64_t max_seq_len = 8000;
+  /// Log-normal MSA depth; median ~500 sequences, tail to hundreds of
+  /// thousands — the second driver of the Fig. 4 spread.
+  double msa_log_mean = 6.2;
+  double msa_log_sigma = 1.4;
+  int64_t min_msa_depth = 4;
+  int64_t max_msa_depth = 200000;
+  /// Mutation probability per MSA position (sequence diversity).
+  double mutation_rate = 0.15;
+  double gap_rate = 0.05;
+  uint64_t seed = 42;
+  /// Featurization work throttle: rows of the full MSA actually processed
+  /// per profile pass (prep cost ~ seq_len * min(depth, work_cap)).
+  int64_t msa_work_cap = 4000;
+};
+
+/// Deterministic synthetic dataset. Thread-safe for concurrent
+/// prepare_batch() calls on distinct or identical indices.
+class SyntheticProteinDataset {
+ public:
+  explicit SyntheticProteinDataset(DatasetConfig config);
+
+  int64_t size() const { return config_.num_samples; }
+  const DatasetConfig& config() const { return config_; }
+
+  /// Metadata is precomputed for the whole dataset at construction.
+  const SampleMeta& meta(int64_t index) const;
+  const std::vector<SampleMeta>& all_meta() const { return meta_; }
+
+  /// Full preparation: generate sequence + fold + MSA, featurize, crop.
+  /// Deterministic per index. This is the expensive call whose duration
+  /// distribution reproduces Fig. 4.
+  Batch prepare_batch(int64_t index) const;
+
+  /// Ground-truth fold for a full sequence (exposed for tests/metrics).
+  static std::vector<float> fold_backbone(const std::vector<int8_t>& seq);
+
+  /// Sequence for an index (deterministic).
+  std::vector<int8_t> sequence(int64_t index) const;
+
+ private:
+  DatasetConfig config_;
+  std::vector<SampleMeta> meta_;
+};
+
+}  // namespace sf::data

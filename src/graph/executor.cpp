@@ -1,0 +1,110 @@
+#include "graph/executor.h"
+
+#include <memory>
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace sf::graph {
+namespace {
+
+/// Argument record allocated per eager launch — stands in for the arg
+/// marshalling + stream bookkeeping PyTorch does per kernel.
+struct LaunchRecord {
+  const Op* op;
+  uint64_t seq;
+  uint64_t registry_token;
+};
+
+void run_op_body(const Op& op) {
+  if (op.is_elementwise) {
+    const float* in = op.ew_in;
+    float* out = op.ew_out;
+    for (int64_t i = 0; i < op.ew_n; ++i) {
+      out[i] = apply_ew_stage(op.stage, in[i], i);
+    }
+  } else if (op.fn) {
+    op.fn();
+  }
+}
+
+}  // namespace
+
+double ExecStats::kernel_seconds() const {
+  double s = 0.0;
+  for (const auto& [kind, pk] : by_kind) s += pk.seconds;
+  return s;
+}
+
+Executor::Executor() = default;
+
+void Executor::dispatch_overhead(const Op& op) {
+  // Registry lookup by kernel name (hash + string compare, possible
+  // insert): the host-side cost every eager launch pays.
+  auto [it, inserted] = registry_.try_emplace(op.name, 0);
+  it->second++;
+  // Per-launch argument record allocation.
+  auto record = std::make_unique<LaunchRecord>();
+  record->op = &op;
+  record->seq = stats_.total_launches;
+  record->registry_token = it->second;
+  // Host load (background-process CPU peak) applies only to the eager
+  // dispatch path; graph replay is immune.
+  if (host_load_hook_) host_load_hook_();
+}
+
+void Executor::run_eager(const Program& program) {
+  for (const Op& op : program.ops()) {
+    Timer dispatch_timer;
+    dispatch_overhead(op);
+    stats_.dispatch_seconds += dispatch_timer.elapsed();
+    ++stats_.total_launches;
+
+    Timer kernel_timer;
+    run_op_body(op);
+    auto& pk = stats_.by_kind[op.kind];
+    pk.seconds += kernel_timer.elapsed();
+    pk.calls += 1;
+  }
+}
+
+GraphExec::GraphExec(const Program& program) {
+  thunks_.reserve(program.size());
+  for (const Op& op : program.ops()) {
+    if (op.is_elementwise) {
+      // Resolve the elementwise descriptor into a direct closure once, at
+      // capture time.
+      EwStage stage = op.stage;
+      const float* in = op.ew_in;
+      float* out = op.ew_out;
+      int64_t n = op.ew_n;
+      thunks_.push_back([stage, in, out, n] {
+        for (int64_t i = 0; i < n; ++i) out[i] = apply_ew_stage(stage, in[i], i);
+      });
+    } else {
+      SF_CHECK(static_cast<bool>(op.fn)) << "opaque op without body:" << op.name;
+      thunks_.push_back(op.fn);
+    }
+  }
+}
+
+void GraphExec::replay() {
+  for (auto& t : thunks_) t();
+  ++replays_;
+}
+
+GraphExec& GraphCache::get_or_capture(const std::string& key,
+                                      const Builder& builder) {
+  auto it = graphs_.find(key);
+  if (it != graphs_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  Program program = builder();
+  auto [ins, ok] = graphs_.emplace(key, GraphExec(program));
+  SF_CHECK(ok);
+  return ins->second;
+}
+
+}  // namespace sf::graph

@@ -1,0 +1,106 @@
+// Eager executor, graph capture/replay, and kernel census.
+//
+// Eager mode models the PyTorch-eager dispatch path: every op launch does
+// real host-side work (kernel-registry lookup, argument-record allocation,
+// stats bookkeeping) and consults a host-load hook so cluster CPU peaks
+// (§3.1 "imbalanced communication" root cause 2) can be injected. Graph
+// replay executes the pre-resolved op list with none of that — the CUDA
+// Graph analogue (§3.2): after capture there is no per-kernel CPU
+// interaction, so replay time is insensitive to the host-load hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/ir.h"
+
+namespace sf::graph {
+
+/// Census/timing accumulated by the eager executor. Reproduces the axes of
+/// Table 1: share of time and call count per kernel category, plus host
+/// (CPU-overhead) time.
+struct ExecStats {
+  struct PerKind {
+    uint64_t calls = 0;
+    double seconds = 0.0;
+  };
+  std::map<OpKind, PerKind> by_kind;
+  double dispatch_seconds = 0.0;  ///< host-side launch overhead ("CPU overhead")
+  uint64_t total_launches = 0;
+
+  double kernel_seconds() const;
+  double total_seconds() const { return kernel_seconds() + dispatch_seconds; }
+  void reset() { *this = ExecStats{}; }
+};
+
+class Executor {
+ public:
+  Executor();
+
+  /// Run every op of the program through the eager dispatch path.
+  void run_eager(const Program& program);
+
+  /// Install a hook invoked on every eager dispatch; used to inject host
+  /// CPU load (busy spin) to model background-process peaks. nullptr
+  /// removes the hook.
+  void set_host_load_hook(std::function<void()> hook) {
+    host_load_hook_ = std::move(hook);
+  }
+
+  const ExecStats& stats() const { return stats_; }
+  ExecStats& mutable_stats() { return stats_; }
+
+ private:
+  void dispatch_overhead(const Op& op);
+
+  // Emulated kernel registry: looked up by name on every eager launch.
+  std::unordered_map<std::string, uint64_t> registry_;
+  std::function<void()> host_load_hook_;
+  ExecStats stats_;
+};
+
+/// Executable captured graph: op closures pre-resolved into a flat list.
+/// replay() runs them back-to-back with no dispatch work.
+class GraphExec {
+ public:
+  explicit GraphExec(const Program& program);
+
+  void replay();
+
+  size_t num_ops() const { return thunks_.size(); }
+  uint64_t replay_count() const { return replays_; }
+
+ private:
+  std::vector<std::function<void()>> thunks_;
+  uint64_t replays_ = 0;
+};
+
+/// Cache of captured graphs keyed by configuration (the paper keys on the
+/// recycling scenario: AlphaFold samples 1..4 recycling iterations per
+/// step, each a different graph shape).
+class GraphCache {
+ public:
+  using Builder = std::function<Program()>;
+
+  /// Returns the cached executable for `key`, capturing via `builder` on
+  /// first use.
+  GraphExec& get_or_capture(const std::string& key, const Builder& builder);
+
+  bool contains(const std::string& key) const {
+    return graphs_.count(key) > 0;
+  }
+  size_t size() const { return graphs_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::string, GraphExec> graphs_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace sf::graph

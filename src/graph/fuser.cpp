@@ -1,0 +1,131 @@
+#include "graph/fuser.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sf::graph {
+namespace {
+
+/// Count how many ops read a given buffer (as primary input or as the
+/// second operand of a binary stage).
+std::unordered_map<const float*, int> build_read_counts(const Program& p) {
+  std::unordered_map<const float*, int> reads;
+  for (const Op& op : p.ops()) {
+    if (!op.is_elementwise) continue;
+    reads[op.ew_in]++;
+    if (op.stage.other != nullptr) reads[op.stage.other]++;
+  }
+  return reads;
+}
+
+}  // namespace
+
+namespace {
+
+bool is_affine(const EwStage& s) {
+  return s.kind == EwKind::kCopy || s.kind == EwKind::kAddScalar ||
+         s.kind == EwKind::kMulScalar || s.kind == EwKind::kAffine;
+}
+
+// (scale, offset) of an affine stage: y = scale*x + offset.
+std::pair<float, float> affine_of(const EwStage& s) {
+  switch (s.kind) {
+    case EwKind::kCopy: return {1.0f, 0.0f};
+    case EwKind::kAddScalar: return {1.0f, s.scalar};
+    case EwKind::kMulScalar: return {s.scalar, 0.0f};
+    case EwKind::kAffine: return {s.scalar, s.scalar2};
+    default: return {1.0f, 0.0f};
+  }
+}
+
+// Constant-fold runs of affine stages into single kAffine stages — the
+// torch.compile-style algebraic simplification that keeps the fused loop
+// cheap even at long chain lengths.
+std::vector<EwStage> fold_affine(const std::vector<EwStage>& in) {
+  std::vector<EwStage> out;
+  for (const EwStage& s : in) {
+    if (is_affine(s) && !out.empty() && is_affine(out.back())) {
+      auto [s1, o1] = affine_of(out.back());
+      auto [s2, o2] = affine_of(s);
+      out.back() = {EwKind::kAffine, nullptr, s1 * s2, o1 * s2 + o2};
+    } else {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Program fuse_elementwise_chains(const Program& in, FuseStats* stats) {
+  const auto& ops = in.ops();
+  auto reads = build_read_counts(in);
+
+  Program out;
+  FuseStats fs;
+  fs.ops_before = ops.size();
+  for (const Op& op : ops) fs.bytes_before += op.bytes;
+
+  size_t i = 0;
+  while (i < ops.size()) {
+    const Op& head = ops[i];
+    if (!head.is_elementwise) {
+      out.add(head);
+      ++i;
+      continue;
+    }
+    // Greedily extend the chain: next op must be elementwise, consume this
+    // op's output as its primary input with the same element count, and the
+    // intermediate must have no other reader.
+    size_t j = i;
+    while (j + 1 < ops.size()) {
+      const Op& cur = ops[j];
+      const Op& next = ops[j + 1];
+      if (!next.is_elementwise) break;
+      if (next.ew_in != cur.ew_out || next.ew_n != cur.ew_n) break;
+      if (reads[cur.ew_out] != 1) break;  // someone else reads the temp
+      ++j;
+    }
+    if (j == i) {
+      out.add(head);
+      ++i;
+      continue;
+    }
+    // Build the fused op, constant-folding affine runs.
+    std::vector<EwStage> stages;
+    std::string name = "fused(";
+    for (size_t k = i; k <= j; ++k) {
+      stages.push_back(ops[k].stage);
+      if (k > i) name += "+";
+      name += ops[k].name;
+    }
+    name += ")";
+    stages = fold_affine(stages);
+    const float* fin = ops[i].ew_in;
+    float* fout = ops[j].ew_out;
+    int64_t n = ops[i].ew_n;
+
+    Op fused;
+    fused.name = std::move(name);
+    fused.kind = OpKind::kMemoryBound;
+    fused.flops = static_cast<uint64_t>(n) * stages.size();
+    fused.bytes = static_cast<uint64_t>(n) * 2 * sizeof(float);
+    fused.fn = [stages, fin, fout, n] {
+      for (int64_t e = 0; e < n; ++e) {
+        float v = fin[e];
+        for (const EwStage& s : stages) v = apply_ew_stage(s, v, e);
+        fout[e] = v;
+      }
+    };
+    out.add(std::move(fused));
+    fs.chains_fused += 1;
+    i = j + 1;
+  }
+
+  fs.ops_after = out.size();
+  for (const Op& op : out.ops()) fs.bytes_after += op.bytes;
+  if (stats) *stats = fs;
+  return out;
+}
+
+}  // namespace sf::graph

@@ -1,0 +1,61 @@
+#include "graph/ir.h"
+
+#include <cmath>
+
+namespace sf::graph {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMath: return "math-bounded";
+    case OpKind::kMemoryBound: return "memory-bounded";
+    case OpKind::kMemOp: return "memory-operation";
+  }
+  return "?";
+}
+
+float apply_ew_stage(const EwStage& stage, float x, int64_t i) {
+  switch (stage.kind) {
+    case EwKind::kCopy: return x;
+    case EwKind::kAddScalar: return x + stage.scalar;
+    case EwKind::kMulScalar: return x * stage.scalar;
+    case EwKind::kAffine: return x * stage.scalar + stage.scalar2;
+    case EwKind::kAddTensor: return x + stage.other[i];
+    case EwKind::kMulTensor: return x * stage.other[i];
+    case EwKind::kRelu: return x > 0.0f ? x : 0.0f;
+    case EwKind::kGelu: {
+      constexpr float kC = 0.7978845608028654f;
+      float inner = kC * (x + 0.044715f * x * x * x);
+      return 0.5f * x * (1.0f + std::tanh(inner));
+    }
+    case EwKind::kSigmoid: return 1.0f / (1.0f + std::exp(-x));
+  }
+  return x;
+}
+
+void Program::add_op(std::string name, OpKind kind, uint64_t flops,
+                     uint64_t bytes, std::function<void()> fn) {
+  Op op;
+  op.name = std::move(name);
+  op.kind = kind;
+  op.flops = flops;
+  op.bytes = bytes;
+  op.fn = std::move(fn);
+  ops_.push_back(std::move(op));
+}
+
+void Program::add_elementwise(std::string name, const float* in, float* out,
+                              int64_t n, EwStage stage) {
+  Op op;
+  op.name = std::move(name);
+  op.kind = OpKind::kMemoryBound;
+  op.flops = static_cast<uint64_t>(n);
+  op.bytes = static_cast<uint64_t>(n) * 2 * sizeof(float);
+  op.is_elementwise = true;
+  op.ew_in = in;
+  op.ew_out = out;
+  op.ew_n = n;
+  op.stage = stage;
+  ops_.push_back(std::move(op));
+}
+
+}  // namespace sf::graph

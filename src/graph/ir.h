@@ -1,0 +1,92 @@
+// Op-level IR for the execution engine.
+//
+// The paper's two execution-side optimizations are reproduced on this IR:
+//   - CUDA Graphs (§3.2): ops submitted through the eager Executor pay a
+//     real per-op host dispatch cost; a captured Program replayed through
+//     GraphExec does not — mirroring how graph launch removes per-kernel
+//     CPU work and makes step time robust to host CPU load spikes.
+//   - torch.compile (§3.3.2): chains of elementwise ops are fused by a
+//     pattern fuser into a single pass with intermediates in registers.
+//
+// Ops carry a census descriptor (kind / flops / bytes) so a recorded
+// program can reproduce the Table 1 kernel breakdown.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sf::graph {
+
+/// Census category, matching Table 1 of the paper.
+enum class OpKind {
+  kMath,         ///< GEMM/conv-like, math-bound
+  kMemoryBound,  ///< elementwise/reduction/softmax/norm
+  kMemOp,        ///< copies and fills
+};
+
+const char* op_kind_name(OpKind kind);
+
+/// Pointwise stage for the elementwise micro-IR the fuser understands.
+enum class EwKind {
+  kCopy,       ///< y = x
+  kAddScalar,  ///< y = x + scalar
+  kMulScalar,  ///< y = x * scalar
+  kAffine,     ///< y = x * scalar + scalar2 (fuser constant-folding result)
+  kAddTensor,  ///< y = x + other[i]
+  kMulTensor,  ///< y = x * other[i]
+  kRelu,
+  kGelu,
+  kSigmoid,
+};
+
+struct EwStage {
+  EwKind kind = EwKind::kCopy;
+  const float* other = nullptr;  ///< second input for *Tensor kinds
+  float scalar = 0.0f;
+  float scalar2 = 0.0f;  ///< kAffine offset
+};
+
+float apply_ew_stage(const EwStage& stage, float x, int64_t i);
+
+/// One operation in a recorded program.
+struct Op {
+  std::string name;
+  OpKind kind = OpKind::kMemoryBound;
+  uint64_t flops = 0;
+  uint64_t bytes = 0;
+
+  /// Opaque ops run through fn. Elementwise ops leave fn empty and are
+  /// described by the fields below so the fuser can merge them.
+  std::function<void()> fn;
+
+  bool is_elementwise = false;
+  const float* ew_in = nullptr;
+  float* ew_out = nullptr;
+  int64_t ew_n = 0;
+  EwStage stage;
+};
+
+/// A recorded sequence of ops (the capture target).
+class Program {
+ public:
+  void add(Op op) { ops_.push_back(std::move(op)); }
+
+  /// Convenience: add an opaque op.
+  void add_op(std::string name, OpKind kind, uint64_t flops, uint64_t bytes,
+              std::function<void()> fn);
+
+  /// Convenience: add a fusable elementwise op (bytes derived from n).
+  void add_elementwise(std::string name, const float* in, float* out,
+                       int64_t n, EwStage stage);
+
+  const std::vector<Op>& ops() const { return ops_; }
+  std::vector<Op>& mutable_ops() { return ops_; }
+  size_t size() const { return ops_.size(); }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace sf::graph

@@ -1,0 +1,283 @@
+#include "kernels/attention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+#include "kernels/softmax.h"
+
+namespace sf::kernels {
+namespace {
+
+inline float dot(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+
+void mha_forward_naive(const AttentionDims& d, const float* q, const float* k,
+                       const float* v, const float* pair_bias,
+                       const float* mask, float* out, AttentionContext* ctx) {
+  SF_CHECK(d.head_dim > 0);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
+  const int64_t logits_per_bh = d.q_len * d.k_len;
+  if (ctx) ctx->probs.assign(d.batch * d.heads * logits_per_bh, 0.0f);
+
+  std::vector<float> logits(logits_per_bh);
+  for (int64_t b = 0; b < d.batch; ++b) {
+    for (int64_t h = 0; h < d.heads; ++h) {
+      const float* qb = q + ((b * d.heads + h) * d.q_len) * d.head_dim;
+      const float* kb = k + ((b * d.heads + h) * d.k_len) * d.head_dim;
+      const float* vb = v + ((b * d.heads + h) * d.k_len) * d.head_dim;
+      const float* bias_h = pair_bias ? pair_bias + h * logits_per_bh : nullptr;
+      const float* mask_b = mask ? mask + b * d.k_len : nullptr;
+
+      // Kernel 1: scaled QK^T (materialized).
+      for (int64_t i = 0; i < d.q_len; ++i) {
+        float* lrow = logits.data() + i * d.k_len;
+        const float* qi = qb + i * d.head_dim;
+        for (int64_t j = 0; j < d.k_len; ++j) {
+          lrow[j] = scale * dot(qi, kb + j * d.head_dim, d.head_dim);
+        }
+      }
+      // Kernel 2: bias add (separate elementwise kernel in eager mode).
+      if (bias_h) {
+        for (int64_t i = 0; i < logits_per_bh; ++i) logits[i] += bias_h[i];
+      }
+      // Kernel 3: mask add.
+      if (mask_b) {
+        for (int64_t i = 0; i < d.q_len; ++i) {
+          float* lrow = logits.data() + i * d.k_len;
+          for (int64_t j = 0; j < d.k_len; ++j) lrow[j] += mask_b[j];
+        }
+      }
+      // Kernel 4: softmax.
+      softmax_forward(logits.data(), logits.data(), d.q_len, d.k_len);
+      if (ctx) {
+        std::memcpy(ctx->probs.data() + (b * d.heads + h) * logits_per_bh,
+                    logits.data(), sizeof(float) * logits_per_bh);
+      }
+      // Kernel 5: PV.
+      float* ob = out + ((b * d.heads + h) * d.q_len) * d.head_dim;
+      for (int64_t i = 0; i < d.q_len; ++i) {
+        float* orow = ob + i * d.head_dim;
+        std::memset(orow, 0, sizeof(float) * d.head_dim);
+        const float* prow = logits.data() + i * d.k_len;
+        for (int64_t j = 0; j < d.k_len; ++j) {
+          float p = prow[j];
+          const float* vj = vb + j * d.head_dim;
+          for (int64_t c = 0; c < d.head_dim; ++c) orow[c] += p * vj[c];
+        }
+      }
+    }
+  }
+}
+
+void mha_backward_naive(const AttentionDims& d, const float* q, const float* k,
+                        const float* v, const float* dout,
+                        const AttentionContext& ctx, float* dq, float* dk,
+                        float* dv, float* dbias) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
+  const int64_t logits_per_bh = d.q_len * d.k_len;
+  SF_CHECK(static_cast<int64_t>(ctx.probs.size()) ==
+           d.batch * d.heads * logits_per_bh)
+      << "naive backward requires probs saved by naive forward";
+
+  std::memset(dq, 0, sizeof(float) * d.qkv_numel(true));
+  std::memset(dk, 0, sizeof(float) * d.qkv_numel(false));
+  std::memset(dv, 0, sizeof(float) * d.qkv_numel(false));
+  if (dbias) std::memset(dbias, 0, sizeof(float) * d.bias_numel());
+
+  std::vector<float> dprobs(logits_per_bh);
+  std::vector<float> dlogits(logits_per_bh);
+
+  for (int64_t b = 0; b < d.batch; ++b) {
+    for (int64_t h = 0; h < d.heads; ++h) {
+      const int64_t bh = b * d.heads + h;
+      const float* probs = ctx.probs.data() + bh * logits_per_bh;
+      const float* qb = q + (bh * d.q_len) * d.head_dim;
+      const float* kb = k + (bh * d.k_len) * d.head_dim;
+      const float* vb = v + (bh * d.k_len) * d.head_dim;
+      const float* dob = dout + (bh * d.q_len) * d.head_dim;
+      float* dqb = dq + (bh * d.q_len) * d.head_dim;
+      float* dkb = dk + (bh * d.k_len) * d.head_dim;
+      float* dvb = dv + (bh * d.k_len) * d.head_dim;
+
+      // dV += P^T dO ; dP = dO V^T
+      for (int64_t i = 0; i < d.q_len; ++i) {
+        const float* prow = probs + i * d.k_len;
+        const float* dorow = dob + i * d.head_dim;
+        float* dprow = dprobs.data() + i * d.k_len;
+        for (int64_t j = 0; j < d.k_len; ++j) {
+          const float* vj = vb + j * d.head_dim;
+          float* dvj = dvb + j * d.head_dim;
+          float p = prow[j];
+          float acc = 0.0f;
+          for (int64_t c = 0; c < d.head_dim; ++c) {
+            dvj[c] += p * dorow[c];
+            acc += dorow[c] * vj[c];
+          }
+          dprow[j] = acc;
+        }
+      }
+      // dLogits = softmax backward of dP.
+      softmax_backward(probs, dprobs.data(), dlogits.data(), d.q_len, d.k_len);
+      // dBias accumulates dLogits over the batch dimension.
+      if (dbias) {
+        float* dbias_h = dbias + h * logits_per_bh;
+        for (int64_t i = 0; i < logits_per_bh; ++i) dbias_h[i] += dlogits[i];
+      }
+      // dQ += scale * dLogits K ; dK += scale * dLogits^T Q
+      for (int64_t i = 0; i < d.q_len; ++i) {
+        const float* dlrow = dlogits.data() + i * d.k_len;
+        const float* qi = qb + i * d.head_dim;
+        float* dqi = dqb + i * d.head_dim;
+        for (int64_t j = 0; j < d.k_len; ++j) {
+          float g = scale * dlrow[j];
+          if (g == 0.0f) continue;
+          const float* kj = kb + j * d.head_dim;
+          float* dkj = dkb + j * d.head_dim;
+          for (int64_t c = 0; c < d.head_dim; ++c) {
+            dqi[c] += g * kj[c];
+            dkj[c] += g * qi[c];
+          }
+        }
+      }
+    }
+  }
+}
+
+void mha_forward_flash(const AttentionDims& d, const float* q, const float* k,
+                       const float* v, const float* pair_bias,
+                       const float* mask, float* out, AttentionContext* ctx,
+                       int64_t k_tile) {
+  SF_CHECK(d.head_dim > 0);
+  SF_CHECK(k_tile > 0);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
+  if (ctx) ctx->lse.assign(d.batch * d.heads * d.q_len, 0.0f);
+
+  std::vector<float> tile_logits(k_tile);
+  for (int64_t b = 0; b < d.batch; ++b) {
+    for (int64_t h = 0; h < d.heads; ++h) {
+      const int64_t bh = b * d.heads + h;
+      const float* qb = q + (bh * d.q_len) * d.head_dim;
+      const float* kb = k + (bh * d.k_len) * d.head_dim;
+      const float* vb = v + (bh * d.k_len) * d.head_dim;
+      const float* bias_h =
+          pair_bias ? pair_bias + h * d.q_len * d.k_len : nullptr;
+      const float* mask_b = mask ? mask + b * d.k_len : nullptr;
+      float* ob = out + (bh * d.q_len) * d.head_dim;
+
+      for (int64_t i = 0; i < d.q_len; ++i) {
+        const float* qi = qb + i * d.head_dim;
+        float* oi = ob + i * d.head_dim;
+        const float* bias_row = bias_h ? bias_h + i * d.k_len : nullptr;
+        // Online softmax state.
+        float m = -INFINITY;
+        float l = 0.0f;
+        std::memset(oi, 0, sizeof(float) * d.head_dim);
+
+        for (int64_t j0 = 0; j0 < d.k_len; j0 += k_tile) {
+          int64_t j1 = std::min(j0 + k_tile, d.k_len);
+          // Tile logits: QK^T, bias and mask fused in one sweep.
+          float tile_max = -INFINITY;
+          for (int64_t j = j0; j < j1; ++j) {
+            float s = scale * dot(qi, kb + j * d.head_dim, d.head_dim);
+            if (bias_row) s += bias_row[j];
+            if (mask_b) s += mask_b[j];
+            tile_logits[j - j0] = s;
+            tile_max = std::max(tile_max, s);
+          }
+          float m_new = std::max(m, tile_max);
+          // Rescale previous accumulators.
+          float correction = (m == -INFINITY) ? 0.0f : std::exp(m - m_new);
+          l *= correction;
+          for (int64_t c = 0; c < d.head_dim; ++c) oi[c] *= correction;
+          // Accumulate tile.
+          for (int64_t j = j0; j < j1; ++j) {
+            float p = std::exp(tile_logits[j - j0] - m_new);
+            l += p;
+            const float* vj = vb + j * d.head_dim;
+            for (int64_t c = 0; c < d.head_dim; ++c) oi[c] += p * vj[c];
+          }
+          m = m_new;
+        }
+        float inv_l = (l > 0.0f) ? 1.0f / l : 0.0f;
+        for (int64_t c = 0; c < d.head_dim; ++c) oi[c] *= inv_l;
+        if (ctx) ctx->lse[bh * d.q_len + i] = m + std::log(std::max(l, 1e-30f));
+      }
+    }
+  }
+}
+
+void mha_backward_flash(const AttentionDims& d, const float* q, const float* k,
+                        const float* v, const float* pair_bias,
+                        const float* mask, const float* out, const float* dout,
+                        const AttentionContext& ctx, float* dq, float* dk,
+                        float* dv, float* dbias, int64_t k_tile) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
+  SF_CHECK(static_cast<int64_t>(ctx.lse.size()) == d.batch * d.heads * d.q_len)
+      << "flash backward requires lse saved by flash forward";
+
+  std::memset(dq, 0, sizeof(float) * d.qkv_numel(true));
+  std::memset(dk, 0, sizeof(float) * d.qkv_numel(false));
+  std::memset(dv, 0, sizeof(float) * d.qkv_numel(false));
+  if (dbias) std::memset(dbias, 0, sizeof(float) * d.bias_numel());
+
+  for (int64_t b = 0; b < d.batch; ++b) {
+    for (int64_t h = 0; h < d.heads; ++h) {
+      const int64_t bh = b * d.heads + h;
+      const float* qb = q + (bh * d.q_len) * d.head_dim;
+      const float* kb = k + (bh * d.k_len) * d.head_dim;
+      const float* vb = v + (bh * d.k_len) * d.head_dim;
+      const float* ob = out + (bh * d.q_len) * d.head_dim;
+      const float* dob = dout + (bh * d.q_len) * d.head_dim;
+      const float* bias_h =
+          pair_bias ? pair_bias + h * d.q_len * d.k_len : nullptr;
+      const float* mask_b = mask ? mask + b * d.k_len : nullptr;
+      float* dqb = dq + (bh * d.q_len) * d.head_dim;
+      float* dkb = dk + (bh * d.k_len) * d.head_dim;
+      float* dvb = dv + (bh * d.k_len) * d.head_dim;
+      float* dbias_h = dbias ? dbias + h * d.q_len * d.k_len : nullptr;
+
+      for (int64_t i = 0; i < d.q_len; ++i) {
+        const float* qi = qb + i * d.head_dim;
+        const float* oi = ob + i * d.head_dim;
+        const float* doi = dob + i * d.head_dim;
+        float* dqi = dqb + i * d.head_dim;
+        float lse = ctx.lse[bh * d.q_len + i];
+        // D_i = rowsum(dO * O): the correction term of the recompute bwd.
+        float delta = dot(doi, oi, d.head_dim);
+
+        for (int64_t j0 = 0; j0 < d.k_len; j0 += k_tile) {
+          int64_t j1 = std::min(j0 + k_tile, d.k_len);
+          for (int64_t j = j0; j < j1; ++j) {
+            const float* kj = kb + j * d.head_dim;
+            const float* vj = vb + j * d.head_dim;
+            // Recompute the probability from saved logsumexp.
+            float s = scale * dot(qi, kj, d.head_dim);
+            if (bias_h) s += bias_h[i * d.k_len + j];
+            if (mask_b) s += mask_b[j];
+            float p = std::exp(s - lse);
+            // dV, dP, dS in one fused sweep.
+            float dp = dot(doi, vj, d.head_dim);
+            float ds = p * (dp - delta);
+            float* dvj = dvb + j * d.head_dim;
+            float* dkj = dkb + j * d.head_dim;
+            for (int64_t c = 0; c < d.head_dim; ++c) {
+              dvj[c] += p * doi[c];
+              dqi[c] += scale * ds * kj[c];
+              dkj[c] += scale * ds * qi[c];
+            }
+            if (dbias_h) dbias_h[i * d.k_len + j] += ds;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sf::kernels

@@ -1,0 +1,69 @@
+// Multi-Head Attention with pair bias: naive vs flash-style fused kernels.
+//
+// MHA is 34% of the AlphaFold step but only reaches 26% of peak in the
+// OpenFold baseline (§2.2). AlphaFold's MHA variant adds a *pair bias*
+// term to the logits before softmax (Fig. 6), which made stock
+// FlashAttention inapplicable; ScaleFold implemented a customized
+// FlashAttention-style Triton kernel fusing the bias add, softmax and both
+// matmuls (§3.3.1). We reproduce both paths:
+//
+//   mha_*_naive:  materializes the [q_len, k_len] logits matrix per
+//                 (batch, head) — the O(n^3)-memory eager baseline.
+//   mha_*_flash:  tiles over keys with an online softmax (running max /
+//                 running sum), never materializing logits; backward uses
+//                 the FlashAttention recompute scheme from saved
+//                 per-row logsumexp.
+//
+// Layout: q [B,H,Sq,D], k/v [B,H,Sk,D], pair bias [H,Sq,Sk] broadcast over
+// B (the AlphaFold row-attention pattern: one bias from the pair
+// representation shared by all MSA rows), additive mask [B,Sk] (0 keeps,
+// large-negative removes), out [B,H,Sq,D].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sf::kernels {
+
+struct AttentionDims {
+  int64_t batch = 1;
+  int64_t heads = 1;
+  int64_t q_len = 0;
+  int64_t k_len = 0;
+  int64_t head_dim = 0;
+
+  int64_t qkv_numel(bool query) const {
+    return batch * heads * (query ? q_len : k_len) * head_dim;
+  }
+  int64_t bias_numel() const { return heads * q_len * k_len; }
+};
+
+/// State saved by forward for the matching backward.
+struct AttentionContext {
+  /// Naive path: full probability tensor [B,H,Sq,Sk].
+  std::vector<float> probs;
+  /// Flash path: per-row logsumexp (already max-shifted) [B,H,Sq].
+  std::vector<float> lse;
+};
+
+void mha_forward_naive(const AttentionDims& d, const float* q, const float* k,
+                       const float* v, const float* pair_bias,
+                       const float* mask, float* out, AttentionContext* ctx);
+
+void mha_backward_naive(const AttentionDims& d, const float* q, const float* k,
+                        const float* v, const float* dout,
+                        const AttentionContext& ctx, float* dq, float* dk,
+                        float* dv, float* dbias);
+
+void mha_forward_flash(const AttentionDims& d, const float* q, const float* k,
+                       const float* v, const float* pair_bias,
+                       const float* mask, float* out, AttentionContext* ctx,
+                       int64_t k_tile = 64);
+
+void mha_backward_flash(const AttentionDims& d, const float* q, const float* k,
+                        const float* v, const float* pair_bias,
+                        const float* mask, const float* out, const float* dout,
+                        const AttentionContext& ctx, float* dq, float* dk,
+                        float* dv, float* dbias, int64_t k_tile = 64);
+
+}  // namespace sf::kernels

@@ -1,0 +1,105 @@
+#include "kernels/bf16_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sf::kernels {
+
+void to_bf16(const float* src, BFloat16* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = BFloat16(src[i]);
+}
+
+void from_bf16(const BFloat16* src, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = src[i].to_float();
+}
+
+void axpb_f32(const float* x, float* y, int64_t n, float a, float b) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a * x[i] + b;
+}
+
+void axpb_bf16(const BFloat16* x, BFloat16* y, int64_t n, float a, float b) {
+  // Branchless fast-path load/store so the loop auto-vectorizes.
+  const uint16_t* xb = &x[0].bits;
+  uint16_t* yb = &y[0].bits;
+  for (int64_t i = 0; i < n; ++i) {
+    yb[i] = bf16_store_fast(a * bf16_load(xb[i]) + b);
+  }
+}
+
+float reduce_f32(const float* x, int64_t n) {
+  float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += x[i];
+    acc1 += x[i + 1];
+    acc2 += x[i + 2];
+    acc3 += x[i + 3];
+  }
+  for (; i < n; ++i) acc0 += x[i];
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+float reduce_bf16(const BFloat16* x, int64_t n) {
+  const uint16_t* xb = &x[0].bits;
+  float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += bf16_load(xb[i]);
+    acc1 += bf16_load(xb[i + 1]);
+    acc2 += bf16_load(xb[i + 2]);
+    acc3 += bf16_load(xb[i + 3]);
+  }
+  for (; i < n; ++i) acc0 += bf16_load(xb[i]);
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+void layernorm_forward_fused_bf16(const BFloat16* x, const float* gamma,
+                                  const float* beta, BFloat16* y,
+                                  int64_t rows, int64_t cols, float eps) {
+  SF_CHECK(rows >= 0 && cols > 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    const BFloat16* xr = x + r * cols;
+    double s = 0.0, sq = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      double v = xr[c].to_float();
+      s += v;
+      sq += v * v;
+    }
+    float mean = static_cast<float>(s / cols);
+    float var = static_cast<float>(sq / cols) - mean * mean;
+    float rstd = 1.0f / std::sqrt(std::max(var, 0.0f) + eps);
+    BFloat16* yr = y + r * cols;
+    uint16_t* yb = &yr[0].bits;
+    const uint16_t* xb = &xr[0].bits;
+    for (int64_t c = 0; c < cols; ++c) {
+      yb[c] = bf16_store_fast((bf16_load(xb[c]) - mean) * rstd * gamma[c] +
+                              beta[c]);
+    }
+  }
+}
+
+void gemm_bf16(const BFloat16* a, const BFloat16* b, float* c, int64_t m,
+               int64_t k, int64_t n) {
+  SF_CHECK(m >= 0 && k >= 0 && n >= 0);
+  std::fill(c, c + m * n, 0.0f);
+  constexpr int64_t kTileK = 128;
+  for (int64_t k0 = 0; k0 < k; k0 += kTileK) {
+    int64_t k1 = std::min(k0 + kTileK, k);
+    for (int64_t i = 0; i < m; ++i) {
+      float* c_row = c + i * n;
+      const BFloat16* a_row = a + i * k;
+      for (int64_t kk = k0; kk < k1; ++kk) {
+        float a_ik = a_row[kk].to_float();
+        if (a_ik == 0.0f) continue;
+        const BFloat16* b_row = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) {
+          c_row[j] += a_ik * b_row[j].to_float();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sf::kernels

@@ -1,0 +1,41 @@
+// bf16-storage kernels (§3.4).
+//
+// ScaleFold's bfloat16 support yields 1.24x because the workload is
+// memory-bound: half-width activations halve the bytes every kernel
+// streams. These kernels store operands as BFloat16 and compute in fp32
+// registers — the same structure as GPU bf16 kernels (tensor cores read
+// bf16, accumulate fp32). On CPU, the traffic reduction is directly
+// measurable once buffers exceed the last-level cache
+// (bench_kernels_micro's Bf16 section).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/bfloat16.h"
+
+namespace sf::kernels {
+
+/// Convert between storage formats.
+void to_bf16(const float* src, BFloat16* dst, int64_t n);
+void from_bf16(const BFloat16* src, float* dst, int64_t n);
+
+/// Streaming triad y = a*x + b with bf16 storage (pure bandwidth probe).
+void axpb_f32(const float* x, float* y, int64_t n, float a, float b);
+void axpb_bf16(const BFloat16* x, BFloat16* y, int64_t n, float a, float b);
+
+/// Read-only bandwidth probe: weighted sum of a large array. Dominant
+/// traffic in most kernels is reads (activations, weights); bf16 halves it
+/// and the branchless load keeps the loop vector-friendly.
+float reduce_f32(const float* x, int64_t n);
+float reduce_bf16(const BFloat16* x, int64_t n);
+
+/// Fused LayerNorm forward with bf16-stored input/output, fp32 math.
+void layernorm_forward_fused_bf16(const BFloat16* x, const float* gamma,
+                                  const float* beta, BFloat16* y,
+                                  int64_t rows, int64_t cols, float eps);
+
+/// GEMM with bf16-stored A and B, fp32 accumulation and output.
+void gemm_bf16(const BFloat16* a, const BFloat16* b, float* c, int64_t m,
+               int64_t k, int64_t n);
+
+}  // namespace sf::kernels

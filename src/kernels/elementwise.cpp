@@ -1,0 +1,90 @@
+#include "kernels/elementwise.h"
+
+#include <cmath>
+
+namespace sf::kernels {
+namespace {
+
+// tanh-approximation GELU (the variant used by most transformer stacks).
+inline float gelu_scalar(float x) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  float inner = kC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+inline float gelu_grad_scalar(float x) {
+  constexpr float kC = 0.7978845608028654f;
+  float x3 = x * x * x;
+  float inner = kC * (x + 0.044715f * x3);
+  float t = std::tanh(inner);
+  float sech2 = 1.0f - t * t;
+  float dinner = kC * (1.0f + 3.0f * 0.044715f * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
+}
+
+inline float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+void relu_forward(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void relu_backward(const float* x, const float* dy, float* dx, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+void gelu_forward(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = gelu_scalar(x[i]);
+}
+
+void gelu_backward(const float* x, const float* dy, float* dx, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dx[i] = dy[i] * gelu_grad_scalar(x[i]);
+}
+
+void sigmoid_forward(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = sigmoid_scalar(x[i]);
+}
+
+void sigmoid_backward_from_output(const float* y, const float* dy, float* dx,
+                                  int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+}
+
+void bias_add(const float* x, const float* bias, float* y, int64_t rows,
+              int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] + bias[c];
+  }
+}
+
+void fused_bias_gelu(const float* x, const float* bias, float* y, int64_t rows,
+                     int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    for (int64_t c = 0; c < cols; ++c) yr[c] = gelu_scalar(xr[c] + bias[c]);
+  }
+}
+
+void add_forward(const float* a, const float* b, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] + b[i];
+}
+
+void fused_glu_forward(const float* x, const float* gate, float* y,
+                       int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = sigmoid_scalar(gate[i]) * x[i];
+}
+
+void fused_glu_backward(const float* x, const float* gate, const float* dy,
+                        float* dx, float* dgate, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    float s = sigmoid_scalar(gate[i]);
+    dx[i] = dy[i] * s;
+    dgate[i] = dy[i] * x[i] * s * (1.0f - s);
+  }
+}
+
+}  // namespace sf::kernels

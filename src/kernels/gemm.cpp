@@ -1,0 +1,142 @@
+#include "kernels/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace sf::kernels {
+namespace {
+
+// Cache-blocking parameters tuned for typical L1/L2 sizes. AlphaFold inner
+// dims are small (32..256), so tiles are modest.
+constexpr int64_t kTileM = 32;
+constexpr int64_t kTileN = 64;
+constexpr int64_t kTileK = 128;
+
+inline const float* row_ptr(const float* base, int64_t row, int64_t ld) {
+  return base + row * ld;
+}
+
+// Core micro-loop: C[i,:] += a_ik * B[k,:], vectorizable by the compiler.
+inline void axpy(float a_ik, const float* b_row, float* c_row, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+}
+
+// A[M,K] * B[K,N] with both untransposed — the hot path.
+void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n, float alpha) {
+  for (int64_t i0 = 0; i0 < m; i0 += kTileM) {
+    int64_t i1 = std::min(i0 + kTileM, m);
+    for (int64_t k0 = 0; k0 < k; k0 += kTileK) {
+      int64_t k1 = std::min(k0 + kTileK, k);
+      for (int64_t j0 = 0; j0 < n; j0 += kTileN) {
+        int64_t j1 = std::min(j0 + kTileN, n);
+        for (int64_t i = i0; i < i1; ++i) {
+          float* c_row = c + i * n + j0;
+          const float* a_row = row_ptr(a, i, k);
+          for (int64_t kk = k0; kk < k1; ++kk) {
+            float a_ik = alpha * a_row[kk];
+            if (a_ik != 0.0f) axpy(a_ik, b + kk * n + j0, c_row, j1 - j0);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool trans_a, bool trans_b, float alpha, float beta) {
+  SF_CHECK(m >= 0 && k >= 0 && n >= 0);
+  if (beta == 0.0f) {
+    std::memset(c, 0, sizeof(float) * m * n);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  if (!trans_a && !trans_b) {
+    gemm_nn(a, b, c, m, k, n, alpha);
+    return;
+  }
+
+  // General (transposed) paths: simple triple loop ordered for row-major
+  // access of C. These are used by backward passes where one operand is
+  // naturally transposed.
+  auto a_at = [&](int64_t i, int64_t kk) {
+    return trans_a ? a[kk * m + i] : a[i * k + kk];
+  };
+  auto b_at = [&](int64_t kk, int64_t j) {
+    return trans_b ? b[j * k + kk] : b[kk * n + j];
+  };
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float a_ik = alpha * a_at(i, kk);
+      if (a_ik == 0.0f) continue;
+      float* c_row = c + i * n;
+      if (!trans_b) {
+        axpy(a_ik, b + kk * n, c_row, n);
+      } else {
+        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ik * b_at(kk, j);
+      }
+    }
+  }
+}
+
+void linear_group_separate(const float* x, int64_t m, int64_t k,
+                           std::span<const float* const> weights,
+                           std::span<const int64_t> out_dims,
+                           std::span<float* const> outs) {
+  SF_CHECK(weights.size() == out_dims.size());
+  SF_CHECK(weights.size() == outs.size());
+  // Each call walks the whole of X again — this is the unfused baseline the
+  // paper's "GEMM batching" removes.
+  for (size_t g = 0; g < weights.size(); ++g) {
+    gemm(x, weights[g], outs[g], m, k, out_dims[g]);
+  }
+}
+
+void linear_group_batched(const float* x, int64_t m, int64_t k,
+                          std::span<const float* const> weights,
+                          std::span<const int64_t> out_dims,
+                          std::span<float* const> outs) {
+  SF_CHECK(weights.size() == out_dims.size());
+  SF_CHECK(weights.size() == outs.size());
+  for (auto* o : outs) SF_CHECK(o != nullptr);
+  // One logical kernel: for each tile of X rows, loop over every group's
+  // weight panel while the X tile is hot in cache. X is read once per row
+  // tile instead of once per group.
+  for (int64_t i0 = 0; i0 < m; i0 += kTileM) {
+    int64_t i1 = std::min(i0 + kTileM, m);
+    for (size_t g = 0; g < weights.size(); ++g) {
+      int64_t n = out_dims[g];
+      const float* w = weights[g];
+      float* out = outs[g];
+      for (int64_t i = i0; i < i1; ++i) {
+        float* c_row = out + i * n;
+        std::memset(c_row, 0, sizeof(float) * n);
+        const float* x_row = x + i * k;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          float a_ik = x_row[kk];
+          if (a_ik != 0.0f) axpy(a_ik, w + kk * n, c_row, n);
+        }
+      }
+    }
+  }
+}
+
+void linear_backward_input(const float* dy, const float* w, float* dx,
+                           int64_t m, int64_t k, int64_t n) {
+  // dX[M,K] = dY[M,N] * W[K,N]^T
+  gemm(dy, w, dx, m, n, k, /*trans_a=*/false, /*trans_b=*/true);
+}
+
+void linear_backward_weight(const float* x, const float* dy, float* dw,
+                            int64_t m, int64_t k, int64_t n) {
+  // dW[K,N] = X[M,K]^T * dY[M,N]
+  gemm(x, dy, dw, k, m, n, /*trans_a=*/true, /*trans_b=*/false);
+}
+
+}  // namespace sf::kernels

@@ -1,0 +1,49 @@
+// Blocked GEMM and batched-GEMM kernels.
+//
+// ScaleFold (§3.3.1, "GEMM Batching") observes that the four linear layers
+// in front of each attention module (Q, K, V projections and the gate) are
+// independent and share the same input activation; bundling them into one
+// batched operation raises parallelism and, crucially, reads the shared
+// input once instead of four times. We reproduce both forms:
+//   - gemm():        single blocked matrix multiply
+//   - gemm_grouped(): N independent gemms sharing A, executed as one fused
+//                     kernel over a concatenated weight panel
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sf::kernels {
+
+/// C[M,N] (+)= alpha * op(A) * op(B), row-major.
+/// op(A) is A[M,K] or A^T with A stored [K,M] when trans_a.
+/// beta == 0 overwrites C, beta == 1 accumulates.
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool trans_a = false, bool trans_b = false,
+          float alpha = 1.0f, float beta = 0.0f);
+
+/// Unbatched path for the pre-attention projections: four separate gemm
+/// calls, each re-reading the shared input X[M,K]. Weight i is W[i][K,N_i];
+/// output i is Y[i][M,N_i].
+void linear_group_separate(const float* x, int64_t m, int64_t k,
+                           std::span<const float* const> weights,
+                           std::span<const int64_t> out_dims,
+                           std::span<float* const> outs);
+
+/// Batched path: logically one kernel over the concatenated weight panel
+/// W_cat[K, sum(N_i)], reading X once per cache tile. Outputs are written
+/// into the caller's separate buffers, matching linear_group_separate.
+void linear_group_batched(const float* x, int64_t m, int64_t k,
+                          std::span<const float* const> weights,
+                          std::span<const int64_t> out_dims,
+                          std::span<float* const> outs);
+
+/// dX[M,K] = dY[M,N] * W^T (W stored [K,N]); dW[K,N] = X^T * dY.
+/// Convenience wrappers used by the autograd linear node.
+void linear_backward_input(const float* dy, const float* w, float* dx,
+                           int64_t m, int64_t k, int64_t n);
+void linear_backward_weight(const float* x, const float* dy, float* dw,
+                            int64_t m, int64_t k, int64_t n);
+
+}  // namespace sf::kernels

@@ -1,0 +1,211 @@
+#include "kernels/layernorm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sf::kernels {
+
+void layernorm_forward_naive(const float* x, const float* gamma,
+                             const float* beta, float* y, int64_t rows,
+                             int64_t cols, float eps, LayerNormStats* stats) {
+  SF_CHECK(rows >= 0 && cols > 0);
+  std::vector<float> mean(rows), var(rows);
+  std::vector<float> centered(static_cast<size_t>(rows) * cols);
+
+  // Pass 1: mean (separate reduction kernel).
+  for (int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    const float* xr = x + r * cols;
+    for (int64_t c = 0; c < cols; ++c) acc += xr[c];
+    mean[r] = static_cast<float>(acc / cols);
+  }
+  // Pass 2: centered temporary (elementwise sub kernel, materialized).
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* cr = centered.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) cr[c] = xr[c] - mean[r];
+  }
+  // Pass 3: variance from the temporary (second reduction kernel).
+  for (int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    const float* cr = centered.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) acc += static_cast<double>(cr[c]) * cr[c];
+    var[r] = static_cast<float>(acc / cols);
+  }
+  // Pass 4: normalize + affine (two more elementwise kernels fused here
+  // only for buffer economy; reads the temporary again).
+  for (int64_t r = 0; r < rows; ++r) {
+    float rstd = 1.0f / std::sqrt(var[r] + eps);
+    const float* cr = centered.data() + r * cols;
+    float* yr = y + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      yr[c] = cr[c] * rstd * gamma[c] + beta[c];
+    }
+    if (stats) {
+      stats->mean.resize(rows);
+      stats->rstd.resize(rows);
+      stats->mean[r] = mean[r];
+      stats->rstd[r] = rstd;
+    }
+  }
+  if (stats && rows == 0) {
+    stats->mean.clear();
+    stats->rstd.clear();
+  }
+}
+
+void layernorm_forward_fused(const float* x, const float* gamma,
+                             const float* beta, float* y, int64_t rows,
+                             int64_t cols, float eps, LayerNormStats* stats,
+                             int64_t rows_per_tile) {
+  SF_CHECK(rows >= 0 && cols > 0);
+  SF_CHECK(rows_per_tile > 0);
+  if (stats) {
+    stats->mean.assign(rows, 0.0f);
+    stats->rstd.assign(rows, 0.0f);
+  }
+  for (int64_t r0 = 0; r0 < rows; r0 += rows_per_tile) {
+    int64_t r1 = std::min(r0 + rows_per_tile, rows);
+    // Single pass over each row: sum and sum-of-squares together, no
+    // temporaries. The tile loop mirrors one thread block handling
+    // multiple small rows.
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      double s = 0.0, sq = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        double v = xr[c];
+        s += v;
+        sq += v * v;
+      }
+      float mean = static_cast<float>(s / cols);
+      float var = static_cast<float>(sq / cols) - mean * mean;
+      float rstd = 1.0f / std::sqrt(std::max(var, 0.0f) + eps);
+      float* yr = y + r * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        yr[c] = (xr[c] - mean) * rstd * gamma[c] + beta[c];
+      }
+      if (stats) {
+        stats->mean[r] = mean;
+        stats->rstd[r] = rstd;
+      }
+    }
+  }
+}
+
+void layernorm_backward_naive(const float* x, const float* gamma,
+                              const float* dy, const LayerNormStats& stats,
+                              float* dx, float* dgamma, float* dbeta,
+                              int64_t rows, int64_t cols) {
+  SF_CHECK(static_cast<int64_t>(stats.mean.size()) == rows);
+  std::memset(dgamma, 0, sizeof(float) * cols);
+  std::memset(dbeta, 0, sizeof(float) * cols);
+
+  // Materialized xhat temporary (extra kernel + extra memory traffic).
+  std::vector<float> xhat(static_cast<size_t>(rows) * cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* hr = xhat.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      hr[c] = (xr[c] - stats.mean[r]) * stats.rstd[r];
+    }
+  }
+  // dgamma/dbeta: row-at-a-time accumulation into the shared column buffers
+  // (the serial analogue of per-block atomicAdd into global memory).
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* hr = xhat.data() + r * cols;
+    const float* gr = dy + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      dgamma[c] += gr[c] * hr[c];
+      dbeta[c] += gr[c];
+    }
+  }
+  // dx in three more passes: two reductions then the combine.
+  std::vector<float> sum_g(rows, 0.0f), sum_gh(rows, 0.0f);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* hr = xhat.data() + r * cols;
+    const float* gr = dy + r * cols;
+    double sg = 0.0, sgh = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      double g = static_cast<double>(gr[c]) * gamma[c];
+      sg += g;
+      sgh += g * hr[c];
+    }
+    sum_g[r] = static_cast<float>(sg);
+    sum_gh[r] = static_cast<float>(sgh);
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* hr = xhat.data() + r * cols;
+    const float* gr = dy + r * cols;
+    float* dr = dx + r * cols;
+    float inv_n = 1.0f / static_cast<float>(cols);
+    for (int64_t c = 0; c < cols; ++c) {
+      float g = gr[c] * gamma[c];
+      dr[c] = stats.rstd[r] * (g - inv_n * sum_g[r] - hr[c] * inv_n * sum_gh[r]);
+    }
+  }
+}
+
+void layernorm_backward_fused(const float* x, const float* gamma,
+                              const float* dy, const LayerNormStats& stats,
+                              float* dx, float* dgamma, float* dbeta,
+                              int64_t rows, int64_t cols,
+                              int64_t rows_per_tile) {
+  SF_CHECK(static_cast<int64_t>(stats.mean.size()) == rows);
+  SF_CHECK(rows_per_tile > 0);
+  int64_t num_tiles = rows == 0 ? 0 : (rows + rows_per_tile - 1) / rows_per_tile;
+
+  // Step 1 of the two-step reduction: each tile reduces its rows into a
+  // private partial buffer (no cross-tile contention — the design that
+  // replaces atomics in the Triton kernel).
+  std::vector<float> part_dgamma(static_cast<size_t>(num_tiles) * cols, 0.0f);
+  std::vector<float> part_dbeta(static_cast<size_t>(num_tiles) * cols, 0.0f);
+
+  for (int64_t t = 0; t < num_tiles; ++t) {
+    int64_t r0 = t * rows_per_tile;
+    int64_t r1 = std::min(r0 + rows_per_tile, rows);
+    float* pg = part_dgamma.data() + t * cols;
+    float* pb = part_dbeta.data() + t * cols;
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      const float* gr = dy + r * cols;
+      float* dr = dx + r * cols;
+      float mean = stats.mean[r];
+      float rstd = stats.rstd[r];
+      // Single fused pass: xhat recomputed in registers, both row
+      // reductions and the partial column reductions in one read.
+      double sg = 0.0, sgh = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        float h = (xr[c] - mean) * rstd;
+        float g = gr[c] * gamma[c];
+        sg += g;
+        sgh += static_cast<double>(g) * h;
+        pg[c] += gr[c] * h;
+        pb[c] += gr[c];
+      }
+      float inv_n = 1.0f / static_cast<float>(cols);
+      float fsg = static_cast<float>(sg), fsgh = static_cast<float>(sgh);
+      for (int64_t c = 0; c < cols; ++c) {
+        float h = (xr[c] - mean) * rstd;
+        float g = gr[c] * gamma[c];
+        dr[c] = rstd * (g - inv_n * fsg - h * inv_n * fsgh);
+      }
+    }
+  }
+  // Step 2: column-reduce the partials.
+  std::memset(dgamma, 0, sizeof(float) * cols);
+  std::memset(dbeta, 0, sizeof(float) * cols);
+  for (int64_t t = 0; t < num_tiles; ++t) {
+    const float* pg = part_dgamma.data() + t * cols;
+    const float* pb = part_dbeta.data() + t * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      dgamma[c] += pg[c];
+      dbeta[c] += pb[c];
+    }
+  }
+}
+
+}  // namespace sf::kernels

@@ -1,0 +1,64 @@
+// LayerNorm kernels: naive multi-pass vs ScaleFold's fused design.
+//
+// LayerNorm is 14% of the AlphaFold step and reaches only 10% of peak in
+// the OpenFold baseline (§2.2) because typical normalized dims are small
+// (128/256) and DAP shrinks them further. ScaleFold's Triton kernel
+// (§3.3.1):
+//   1. lets each thread block process MULTIPLE input rows (we mirror this
+//      with a rows-per-tile parameter that amortizes loop overhead and
+//      keeps several rows streaming),
+//   2. computes the normalization statistics in a single pass
+//      (sum/sum-of-squares fused into one read) instead of separate
+//      mean and variance passes,
+//   3. computes weight/bias gradients with a two-step reduction — per-tile
+//      partials into an intermediate buffer, then a column reduction —
+//      avoiding atomic accumulation.
+//
+// The naive variants intentionally mirror the unfused PyTorch op sequence
+// (separate mean / variance / normalize / affine kernels with materialized
+// temporaries) so A/B benchmarks measure exactly the fusion win.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sf::kernels {
+
+/// Saved statistics from the forward pass, consumed by backward.
+struct LayerNormStats {
+  std::vector<float> mean;     ///< per-row mean
+  std::vector<float> rstd;     ///< per-row 1/sqrt(var + eps)
+};
+
+/// Naive forward: four separate passes with temporaries, emulating the
+/// unfused eager-mode op sequence (mean, centered copy, variance,
+/// normalize+affine).
+void layernorm_forward_naive(const float* x, const float* gamma,
+                             const float* beta, float* y, int64_t rows,
+                             int64_t cols, float eps, LayerNormStats* stats);
+
+/// Fused forward: one read pass computing both moments, one write pass
+/// applying the affine transform; processes `rows_per_tile` rows per outer
+/// iteration (thread-block analogue).
+void layernorm_forward_fused(const float* x, const float* gamma,
+                             const float* beta, float* y, int64_t rows,
+                             int64_t cols, float eps, LayerNormStats* stats,
+                             int64_t rows_per_tile = 4);
+
+/// Naive backward: recomputes per-row reductions in separate passes and
+/// accumulates dgamma/dbeta column-wise one row at a time (the
+/// atomic-accumulation analogue).
+void layernorm_backward_naive(const float* x, const float* gamma,
+                              const float* dy, const LayerNormStats& stats,
+                              float* dx, float* dgamma, float* dbeta,
+                              int64_t rows, int64_t cols);
+
+/// Fused backward: single pass per row for dx; dgamma/dbeta via two-step
+/// reduction (per-tile partial buffers, then a column reduce).
+void layernorm_backward_fused(const float* x, const float* gamma,
+                              const float* dy, const LayerNormStats& stats,
+                              float* dx, float* dgamma, float* dbeta,
+                              int64_t rows, int64_t cols,
+                              int64_t rows_per_tile = 32);
+
+}  // namespace sf::kernels

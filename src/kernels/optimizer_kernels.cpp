@@ -1,0 +1,126 @@
+#include "kernels/optimizer_kernels.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace sf::kernels {
+
+void adam_step_unfused(const ParamChunk& c, const AdamHyper& h, int64_t step) {
+  SF_CHECK(step >= 1);
+  const float b1 = h.beta1, b2 = h.beta2;
+  const int64_t n = c.n;
+
+  // Pass 1: weight decay folded into grad (separate kernel).
+  std::vector<float> g(c.grad, c.grad + n);
+  if (h.weight_decay != 0.0f) {
+    for (int64_t i = 0; i < n; ++i) g[i] += h.weight_decay * c.param[i];
+  }
+  // Pass 2: m = b1*m (scale kernel).
+  for (int64_t i = 0; i < n; ++i) c.exp_avg[i] *= b1;
+  // Pass 3: m += (1-b1)*g (axpy kernel).
+  for (int64_t i = 0; i < n; ++i) c.exp_avg[i] += (1.0f - b1) * g[i];
+  // Pass 4: v = b2*v.
+  for (int64_t i = 0; i < n; ++i) c.exp_avg_sq[i] *= b2;
+  // Pass 5: v += (1-b2)*g*g (needs a materialized g^2 temporary in eager).
+  std::vector<float> g2(n);
+  for (int64_t i = 0; i < n; ++i) g2[i] = g[i] * g[i];
+  for (int64_t i = 0; i < n; ++i) c.exp_avg_sq[i] += (1.0f - b2) * g2[i];
+  // Pass 6/7: bias-corrected temporaries.
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step));
+  std::vector<float> mhat(n), vhat(n);
+  for (int64_t i = 0; i < n; ++i) mhat[i] = c.exp_avg[i] / bc1;
+  for (int64_t i = 0; i < n; ++i) vhat[i] = c.exp_avg_sq[i] / bc2;
+  // Pass 8: denom = sqrt(vhat) + eps.
+  std::vector<float> denom(n);
+  for (int64_t i = 0; i < n; ++i) denom[i] = std::sqrt(vhat[i]) + h.eps;
+  // Pass 9: param -= lr * mhat / denom.
+  for (int64_t i = 0; i < n; ++i) c.param[i] -= h.lr * mhat[i] / denom[i];
+}
+
+void swa_update_unfused(float* swa, const float* param, int64_t n,
+                        float decay) {
+  // Two separate passes, as in eager swa_utils (mul_ then add_).
+  for (int64_t i = 0; i < n; ++i) swa[i] *= decay;
+  for (int64_t i = 0; i < n; ++i) swa[i] += (1.0f - decay) * param[i];
+}
+
+float grad_norm_concat(std::span<const ParamChunk> chunks) {
+  int64_t total = 0;
+  for (const auto& c : chunks) total += c.n;
+  // The naive path really allocates and copies (this is the overhead the
+  // bucketed version removes).
+  std::vector<float> flat(total);
+  int64_t off = 0;
+  for (const auto& c : chunks) {
+    std::memcpy(flat.data() + off, c.grad, sizeof(float) * c.n);
+    off += c.n;
+  }
+  double acc = 0.0;
+  for (int64_t i = 0; i < total; ++i) {
+    acc += static_cast<double>(flat[i]) * flat[i];
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void grad_scale_per_tensor(std::span<ParamChunk> chunks, float scale) {
+  for (auto& c : chunks) {
+    for (int64_t i = 0; i < c.n; ++i) c.grad[i] *= scale;
+  }
+}
+
+void fused_adam_swa_step(std::span<const ParamChunk> chunks,
+                         const AdamHyper& h, int64_t step, float swa_decay,
+                         float grad_scale) {
+  SF_CHECK(step >= 1);
+  const float b1 = h.beta1, b2 = h.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step));
+  const float inv_bc1 = 1.0f / bc1;
+  const float inv_bc2 = 1.0f / bc2;
+
+  // One sweep over the packed pointer list; every intermediate lives in
+  // registers. Contiguous sub-regions per chunk give the data locality the
+  // paper's thread-block mapping provides.
+  for (const auto& c : chunks) {
+    float* p = c.param;
+    float* g = c.grad;
+    float* m = c.exp_avg;
+    float* v = c.exp_avg_sq;
+    float* s = c.swa;
+    for (int64_t i = 0; i < c.n; ++i) {
+      float gi = g[i] * grad_scale;
+      if (h.weight_decay != 0.0f) gi += h.weight_decay * p[i];
+      float mi = b1 * m[i] + (1.0f - b1) * gi;
+      float vi = b2 * v[i] + (1.0f - b2) * gi * gi;
+      m[i] = mi;
+      v[i] = vi;
+      float update = h.lr * (mi * inv_bc1) / (std::sqrt(vi * inv_bc2) + h.eps);
+      float pi = p[i] - update;
+      p[i] = pi;
+      if (s) s[i] = swa_decay * s[i] + (1.0f - swa_decay) * pi;
+    }
+  }
+}
+
+float grad_norm_bucketed(std::span<const float* const> buckets,
+                         std::span<const int64_t> sizes) {
+  SF_CHECK(buckets.size() == sizes.size());
+  double acc = 0.0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const float* data = buckets[b];
+    for (int64_t i = 0; i < sizes[b]; ++i) {
+      acc += static_cast<double>(data[i]) * data[i];
+    }
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float clip_scale(float norm, float max_norm) {
+  if (max_norm <= 0.0f || norm <= max_norm) return 1.0f;
+  return max_norm / (norm + 1e-6f);
+}
+
+}  // namespace sf::kernels

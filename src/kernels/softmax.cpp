@@ -1,0 +1,38 @@
+#include "kernels/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sf::kernels {
+
+void softmax_forward(const float* x, float* y, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    float m = -INFINITY;
+    for (int64_t c = 0; c < cols; ++c) m = std::max(m, xr[c]);
+    double s = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      float e = std::exp(xr[c] - m);
+      yr[c] = e;
+      s += e;
+    }
+    float inv = static_cast<float>(1.0 / s);
+    for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
+  }
+}
+
+void softmax_backward(const float* y, const float* dy, float* dx,
+                      int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * cols;
+    const float* gr = dy + r * cols;
+    float* dr = dx + r * cols;
+    double dot = 0.0;
+    for (int64_t c = 0; c < cols; ++c) dot += static_cast<double>(gr[c]) * yr[c];
+    float fd = static_cast<float>(dot);
+    for (int64_t c = 0; c < cols; ++c) dr[c] = yr[c] * (gr[c] - fd);
+  }
+}
+
+}  // namespace sf::kernels

@@ -1,0 +1,17 @@
+// Row softmax kernels (building block of the naive attention path and of
+// several model modules that need a standalone softmax).
+#pragma once
+
+#include <cstdint>
+
+namespace sf::kernels {
+
+/// y = softmax(x) along the last dimension; x/y are [rows, cols].
+/// Numerically stable (max-subtraction).
+void softmax_forward(const float* x, float* y, int64_t rows, int64_t cols);
+
+/// dx = y * (dy - sum(dy * y)) rowwise, given y = softmax(x).
+void softmax_backward(const float* y, const float* dy, float* dx,
+                      int64_t rows, int64_t cols);
+
+}  // namespace sf::kernels

@@ -1,0 +1,408 @@
+#include "model/alphafold.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+#include "model/metrics.h"
+
+namespace sf::model {
+
+using namespace autograd;
+
+PairBlock::PairBlock(ParamStore& store, const std::string& prefix,
+                     const ModelConfig& cfg, Rng& rng)
+    : tri_mul_out(store, prefix + ".tri_mul_out", true, cfg, rng),
+      tri_mul_in(store, prefix + ".tri_mul_in", false, cfg, rng),
+      tri_attn_start(store, prefix + ".tri_attn_start", true, cfg, rng),
+      tri_attn_end(store, prefix + ".tri_attn_end", false, cfg, rng),
+      pair_transition(store, prefix + ".pair_trans", cfg.c_z, cfg, rng) {}
+
+Var PairBlock::operator()(Var pair) const {
+  pair = add(pair, tri_mul_out(pair));
+  pair = add(pair, tri_mul_in(pair));
+  pair = add(pair, tri_attn_start(pair));
+  pair = add(pair, tri_attn_end(pair));
+  pair = add(pair, pair_transition(pair));
+  return pair;
+}
+
+StructureModule::StructureModule(ParamStore& store, const std::string& prefix,
+                                 const ModelConfig& cfg, Rng& rng)
+    : single_in(store, prefix + ".single_in", cfg.c_m, cfg.c_s, rng),
+      ln_pair(store, prefix + ".ln_pair", cfg.c_z, rng,
+              cfg.use_fused_layernorm),
+      bias_proj(store, prefix + ".bias_proj", cfg.c_z, cfg.heads, rng, false) {
+  for (int64_t l = 0; l < cfg.structure_layers; ++l) {
+    std::string lp = prefix + "." + std::to_string(l);
+    attn_layers.emplace_back(store, lp + ".attn", cfg.c_s, cfg, rng);
+    transitions.emplace_back(store, lp + ".trans", cfg.c_s, cfg, rng);
+    pos_heads.emplace_back(store, lp + ".pos", cfg.c_s, 3, rng, true,
+                           Init::kSmallNormal);
+  }
+}
+
+StructureModule::Output StructureModule::operator()(const Var& msa,
+                                                    const Var& pair) const {
+  const int64_t r = msa.shape()[1];
+  const int64_t c_m = msa.shape()[2];
+  // Single representation from the first MSA row (the target sequence row).
+  Var row0 = reshape(take_leading(msa, 1), {r, c_m});
+  Var s = single_in(row0);
+  // Shared pair bias across layers.
+  Var bias = permute3(bias_proj(ln_pair(pair)), {2, 0, 1});
+
+  Var positions;
+  for (size_t l = 0; l < attn_layers.size(); ++l) {
+    Var s3 = reshape(s, {1, r, s.shape().back()});
+    Var upd = attn_layers[l](s3, &bias, nullptr);
+    s = add(s, reshape(upd, {r, s.shape().back()}));
+    s = add(s, transitions[l](s));
+    Var delta = pos_heads[l](s);
+    positions = positions.defined() ? add(positions, delta) : delta;
+  }
+  return {s, positions};
+}
+
+MiniAlphaFold::MiniAlphaFold(const ModelConfig& cfg, uint64_t seed)
+    : cfg_(cfg) {
+  Rng rng(seed);
+  msa_embed = LinearLayer(store_, "embed.msa", cfg.msa_feat_dim, cfg.c_m, rng);
+  target_embed =
+      LinearLayer(store_, "embed.target", cfg.num_aa, cfg.c_m, rng);
+  pair_embed_a = LinearLayer(store_, "embed.pair_a", cfg.num_aa, cfg.c_z, rng);
+  pair_embed_b = LinearLayer(store_, "embed.pair_b", cfg.num_aa, cfg.c_z, rng);
+  relpos_embed =
+      LinearLayer(store_, "embed.relpos", cfg.relpos_bins, cfg.c_z, rng);
+  recycle_pair_ln = LayerNormLayer(store_, "recycle.pair_ln", cfg.c_z, rng,
+                                   cfg.use_fused_layernorm);
+  recycle_pair = LinearLayer(store_, "recycle.pair", cfg.c_z, cfg.c_z, rng,
+                             true, Init::kFinalZero);
+  recycle_dist = LinearLayer(store_, "recycle.dist", cfg.recycle_dist_bins,
+                             cfg.c_z, rng, true, Init::kFinalZero);
+
+  if (cfg.use_template_stack) {
+    template_embed = LinearLayer(store_, "embed.template", cfg.template_bins,
+                                 cfg.c_z, rng);
+    for (int64_t i = 0; i < cfg.template_pair_blocks; ++i) {
+      template_stack.emplace_back(store_,
+                                  "template." + std::to_string(i), cfg, rng);
+    }
+  }
+  if (cfg.use_extra_msa_stack) {
+    for (int64_t i = 0; i < cfg.extra_msa_blocks; ++i) {
+      extra_stack.emplace_back(store_, "extra." + std::to_string(i), cfg, rng);
+    }
+  }
+  for (int64_t i = 0; i < cfg.evoformer_blocks; ++i) {
+    evoformer.emplace_back(store_, "evoformer." + std::to_string(i), cfg, rng);
+  }
+  structure = StructureModule(store_, "structure", cfg, rng);
+  if (cfg.aux_losses) {
+    masked_msa_head = LinearLayer(store_, "heads.masked_msa", cfg.c_m,
+                                  cfg.num_aa, rng);
+    distogram_head = LinearLayer(store_, "heads.distogram", cfg.c_z,
+                                 cfg.distogram_bins, rng);
+  }
+}
+
+MiniAlphaFold::MaskedMsa MiniAlphaFold::corrupt_msa(
+    const data::Batch& batch) const {
+  MaskedMsa out;
+  out.corrupted = batch.msa_feat.clone();
+  const int64_t s_rows = cfg_.msa_rows;
+  const int64_t r = cfg_.crop_len;
+  const int64_t f = cfg_.msa_feat_dim;
+  const int64_t aa = cfg_.num_aa;
+  // Deterministic mask per sample (stable across recycling iterations).
+  Rng rng(0x6d61736bULL ^ (batch.index + 1) * 0x9e3779b97f4a7c15ULL);
+  const float uniform = 1.0f / static_cast<float>(aa);
+  for (int64_t si = 0; si < s_rows; ++si) {
+    for (int64_t ri = 0; ri < r; ++ri) {
+      if (batch.residue_mask.at(ri) < 0.5f) continue;
+      float* feat = out.corrupted.data() + (si * r + ri) * f;
+      // Identify the true class from the one-hot block; all-zero = gap.
+      int64_t cls = -1;
+      for (int64_t a = 0; a < aa; ++a) {
+        if (feat[a] > 0.5f) {
+          cls = a;
+          break;
+        }
+      }
+      if (cls < 0) continue;
+      if (!rng.bernoulli(cfg_.masked_msa_fraction)) continue;
+      // Replace with the uniform "mask token" distribution (distinct from
+      // both a one-hot residue and an all-zero gap).
+      for (int64_t a = 0; a < aa; ++a) feat[a] = uniform;
+      out.sites.push_back(si * r + ri);
+      out.classes.push_back(cls);
+    }
+  }
+  return out;
+}
+
+MiniAlphaFold::TrunkOutput MiniAlphaFold::run_trunk(
+    const data::Batch& batch, const Var* recycled_pair,
+    const Tensor* prev_positions, const Tensor* msa_feat_override,
+    Rng* dropout_rng) const {
+  const int64_t s_rows = cfg_.msa_rows;
+  const int64_t r = cfg_.crop_len;
+  SF_CHECK(batch.msa_feat.shape() ==
+           Shape({s_rows, r, cfg_.msa_feat_dim}))
+      << "batch msa_feat" << shape_str(batch.msa_feat.shape());
+  if (msa_feat_override) {
+    SF_CHECK(msa_feat_override->shape() == batch.msa_feat.shape());
+  }
+
+  Var msa_feat(msa_feat_override ? *msa_feat_override : batch.msa_feat,
+               /*requires_grad=*/false);
+  Var seq(batch.seq_onehot, /*requires_grad=*/false);
+
+  // MSA representation: per-row embedding + broadcast target embedding.
+  Var msa = msa_embed(msa_feat);                 // [S,R,c_m]
+  Var target = target_embed(seq);                // [R,c_m]
+  msa = add_bcast0(msa, target);
+
+  // Pair representation: outer sum + relative-position encoding.
+  Var pair = outer_sum(pair_embed_a(seq), pair_embed_b(seq));  // [R,R,c_z]
+  {
+    // Clipped relative-position one-hot, constant per crop.
+    const int64_t bins = cfg_.relpos_bins;
+    const int64_t half = bins / 2;
+    Tensor relpos({r * r, bins});
+    for (int64_t i = 0; i < r; ++i) {
+      for (int64_t j = 0; j < r; ++j) {
+        int64_t d = std::clamp(j - i, -half, half) + half;
+        relpos.at((i * r + j) * bins + d) = 1.0f;
+      }
+    }
+    Var rp(relpos, false);
+    pair = add(pair, reshape(relpos_embed(rp), {r, r, cfg_.c_z}));
+  }
+
+  // Recycling inputs.
+  if (recycled_pair) {
+    pair = add(pair, recycle_pair(recycle_pair_ln(*recycled_pair)));
+  }
+  if (prev_positions) {
+    // Distance-bin one-hot of the previous prediction (constant: the
+    // previous cycle is detached).
+    const int64_t bins = cfg_.recycle_dist_bins;
+    Tensor dist_onehot({r * r, bins});
+    const float* p = prev_positions->data();
+    for (int64_t i = 0; i < r; ++i) {
+      for (int64_t j = 0; j < r; ++j) {
+        float dx = p[i * 3] - p[j * 3];
+        float dy = p[i * 3 + 1] - p[j * 3 + 1];
+        float dz = p[i * 3 + 2] - p[j * 3 + 2];
+        float d = std::sqrt(dx * dx + dy * dy + dz * dz);
+        // Bins: [0,4), [4,8), ... last bin open-ended.
+        int64_t bin = std::min<int64_t>(static_cast<int64_t>(d / 4.0f),
+                                        bins - 1);
+        dist_onehot.at((i * r + j) * bins + bin) = 1.0f;
+      }
+    }
+    Var dh(dist_onehot, false);
+    pair = add(pair, reshape(recycle_dist(dh), {r, r, cfg_.c_z}));
+  }
+
+  // Template features: the homolog's distogram embedded into the pair rep
+  // (AF2's template path), then refined by the template pair stack.
+  if (cfg_.use_template_stack) {
+    if (batch.template_feat.defined()) {
+      SF_CHECK(batch.template_feat.shape() ==
+               Shape({r, r, cfg_.template_bins}))
+          << "template_feat" << shape_str(batch.template_feat.shape());
+      Var tf(batch.template_feat, /*requires_grad=*/false);
+      pair = add(pair, template_embed(tf));
+    }
+    for (const auto& block : template_stack) pair = block(pair);
+  }
+
+  // Extra MSA stack: full Evoformer blocks whose purpose is refining the
+  // pair rep; the extra-MSA output itself is discarded (AF2 semantics).
+  if (!extra_stack.empty()) {
+    EvoformerBlock::State st{msa, pair};
+    for (const auto& block : extra_stack) {
+      st = block(st, &batch.residue_mask, dropout_rng, cfg_.msa_dropout,
+                 cfg_.pair_dropout);
+    }
+    pair = st.pair;
+  }
+
+  // Main Evoformer stack, optionally under gradient checkpointing: the
+  // block's intermediate tape is dropped in forward and rebuilt by a
+  // recompute during backward.
+  EvoformerBlock::State st{msa, pair};
+  for (const auto& block : evoformer) {
+    if (cfg_.gradient_checkpointing) {
+      // Dropout masks must be identical between the cheap forward and the
+      // backward recompute: snapshot the RNG into the closure, and advance
+      // the live stream by the draws the block consumes (one per MSA row
+      // of the row-attention update, one per pair row of each of the four
+      // dropped pair updates).
+      Tensor mask_copy = batch.residue_mask.clone();
+      const bool use_dropout = dropout_rng != nullptr;
+      Rng rng_snapshot = use_dropout ? *dropout_rng : Rng(0);
+      const float md = cfg_.msa_dropout, pd = cfg_.pair_dropout;
+      auto outs = checkpoint_multi(
+          [&block, mask_copy, rng_snapshot, use_dropout, md,
+           pd](const std::vector<Var>& in) {
+            Rng local = rng_snapshot;  // identical draws on every replay
+            auto out = block({in[0], in[1]}, &mask_copy,
+                             use_dropout ? &local : nullptr, md, pd);
+            return std::vector<Var>{out.msa, out.pair};
+          },
+          {st.msa, st.pair});
+      st = {outs[0], outs[1]};
+      if (use_dropout) {
+        if (md > 0.0f) {
+          for (int64_t i = 0; i < cfg_.msa_rows; ++i) {
+            (void)dropout_rng->bernoulli(md);
+          }
+        }
+        if (pd > 0.0f) {
+          for (int64_t k = 0; k < 4 * cfg_.crop_len; ++k) {
+            (void)dropout_rng->bernoulli(pd);
+          }
+        }
+      }
+    } else {
+      st = block(st, &batch.residue_mask, dropout_rng, cfg_.msa_dropout,
+                 cfg_.pair_dropout);
+    }
+    if (cfg_.bf16_activations) {
+      st.msa = bf16_round_st(st.msa);
+      st.pair = bf16_round_st(st.pair);
+    }
+  }
+  return {st.msa, st.pair};
+}
+
+Var MiniAlphaFold::structural_loss(const Var& positions,
+                                   const Tensor& target_pos,
+                                   const Tensor& residue_mask) {
+  const int64_t r = positions.shape()[0];
+  SF_CHECK(target_pos.shape() == positions.shape());
+
+  // Target distance matrix + pair weights.
+  Tensor target_dist({r, r});
+  Tensor weight({r, r});
+  const float* t = target_pos.data();
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < r; ++j) {
+      float dx = t[i * 3] - t[j * 3];
+      float dy = t[i * 3 + 1] - t[j * 3 + 1];
+      float dz = t[i * 3 + 2] - t[j * 3 + 2];
+      float d = std::sqrt(dx * dx + dy * dy + dz * dz);
+      target_dist.at(i * r + j) = d;
+      float m = residue_mask.at(i) * residue_mask.at(j);
+      if (i == j) m = 0.0f;
+      // Local pairs dominate (lDDT inclusion radius); distant pairs keep a
+      // small weight so global topology stays sane.
+      weight.at(i * r + j) = m * (d < 15.0f ? 1.0f : 0.05f);
+    }
+  }
+  Var dist = pairwise_dist(positions);
+  return weighted_mse(dist, target_dist, &weight);
+}
+
+ModelOutput MiniAlphaFold::forward(const data::Batch& batch,
+                                   int64_t num_recycles, bool compute_loss,
+                                   Rng* dropout_rng) const {
+  SF_CHECK(num_recycles >= 1);
+  ModelOutput out;
+  out.recycles_used = num_recycles;
+
+  // Masked-MSA corruption is applied identically in every cycle so the
+  // recycled signal is self-consistent.
+  MaskedMsa masked;
+  const bool use_aux = cfg_.aux_losses && compute_loss;
+  const Tensor* feat_override = nullptr;
+  if (use_aux) {
+    masked = corrupt_msa(batch);
+    feat_override = &masked.corrupted;
+  }
+
+  Var recycled_pair;
+  Tensor prev_positions;
+  for (int64_t cycle = 0; cycle < num_recycles; ++cycle) {
+    const bool last = (cycle + 1 == num_recycles);
+    TrunkOutput trunk = run_trunk(
+        batch, recycled_pair.defined() ? &recycled_pair : nullptr,
+        prev_positions.defined() ? &prev_positions : nullptr, feat_override,
+        dropout_rng);
+    StructureModule::Output structure_out = structure(trunk.msa, trunk.pair);
+
+    if (last) {
+      out.positions = structure_out.positions.value().clone();
+      if (compute_loss) {
+        Var total = structural_loss(structure_out.positions, batch.target_pos,
+                                    batch.residue_mask);
+        out.structural_loss_value = total.value().at(0);
+        if (use_aux) {
+          // Masked-MSA BERT loss: predict the true residue at masked sites
+          // from the final MSA representation.
+          if (!masked.sites.empty()) {
+            const int64_t rows = cfg_.msa_rows * cfg_.crop_len;
+            Var logits = reshape(
+                masked_msa_head(reshape(trunk.msa, {rows, cfg_.c_m})),
+                {rows, cfg_.num_aa});
+            Tensor weights = Tensor::zeros({rows});
+            std::vector<int64_t> targets(rows, 0);
+            for (size_t i = 0; i < masked.sites.size(); ++i) {
+              weights.at(masked.sites[i]) = 1.0f;
+              targets[masked.sites[i]] = masked.classes[i];
+            }
+            Var msa_ce = softmax_cross_entropy(logits, targets, &weights);
+            out.masked_msa_loss_value = msa_ce.value().at(0);
+            total = add(total, scale(msa_ce, cfg_.masked_msa_weight));
+          }
+          // Distogram loss: classify binned true C-alpha distances from
+          // the pair representation.
+          {
+            const int64_t r = cfg_.crop_len;
+            const int64_t pairs = r * r;
+            Var logits = reshape(
+                distogram_head(reshape(trunk.pair, {pairs, cfg_.c_z})),
+                {pairs, cfg_.distogram_bins});
+            Tensor weights = Tensor::zeros({pairs});
+            std::vector<int64_t> targets(pairs, 0);
+            const float* tp = batch.target_pos.data();
+            for (int64_t i = 0; i < r; ++i) {
+              for (int64_t j = 0; j < r; ++j) {
+                if (i == j || batch.residue_mask.at(i) < 0.5f ||
+                    batch.residue_mask.at(j) < 0.5f) {
+                  continue;
+                }
+                float dx = tp[i * 3] - tp[j * 3];
+                float dy = tp[i * 3 + 1] - tp[j * 3 + 1];
+                float dz = tp[i * 3 + 2] - tp[j * 3 + 2];
+                float d = std::sqrt(dx * dx + dy * dy + dz * dz);
+                int64_t bin = std::min<int64_t>(
+                    static_cast<int64_t>(d / cfg_.distogram_bin_width),
+                    cfg_.distogram_bins - 1);
+                weights.at(i * r + j) = 1.0f;
+                targets[i * r + j] = bin;
+              }
+            }
+            Var disto_ce = softmax_cross_entropy(logits, targets, &weights);
+            out.distogram_loss_value = disto_ce.value().at(0);
+            total = add(total, scale(disto_ce, cfg_.distogram_weight));
+          }
+        }
+        out.loss = total;
+        out.lddt = lddt_ca(out.positions, batch.target_pos,
+                           batch.residue_mask);
+      }
+    } else {
+      // Detach: gradients flow through the final cycle only.
+      recycled_pair = stop_gradient(trunk.pair);
+      prev_positions = structure_out.positions.value().clone();
+    }
+  }
+  return out;
+}
+
+}  // namespace sf::model

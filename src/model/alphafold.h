@@ -1,0 +1,140 @@
+// MiniAlphaFold: the full trainable model (Fig. 1 of the paper).
+//
+// Input embeddings (MSA + target + relative-position pair init), template
+// pair stack, extra-MSA stack, the main Evoformer stack, structure module,
+// and recycling. The structure module is deliberately kept as a distinct
+// serial stage — it is the non-DAP-parallelizable "serial module" that
+// §3.1 identifies as a scaling barrier.
+#pragma once
+
+#include <vector>
+
+#include "data/protein_sample.h"
+#include "model/config.h"
+#include "model/modules.h"
+#include "model/params.h"
+
+namespace sf::model {
+
+/// Pair-representation-only block used by the template pair stack and the
+/// pair half of the extra-MSA stack.
+struct PairBlock {
+  TriangleMultiplication tri_mul_out;
+  TriangleMultiplication tri_mul_in;
+  TriangleAttention tri_attn_start;
+  TriangleAttention tri_attn_end;
+  Transition pair_transition;
+
+  PairBlock(ParamStore& store, const std::string& prefix,
+            const ModelConfig& cfg, Rng& rng);
+  Var operator()(Var pair) const;
+};
+
+/// Structure module: iteratively refines a single representation with
+/// pair-biased attention and accumulates per-residue position updates.
+struct StructureModule {
+  StructureModule() = default;
+  LinearLayer single_in;     ///< c_m -> c_s from the first MSA row
+  LayerNormLayer ln_pair;
+  LinearLayer bias_proj;     ///< c_z -> heads
+  std::vector<GatedAttention> attn_layers;
+  std::vector<Transition> transitions;
+  std::vector<LinearLayer> pos_heads;  ///< c_s -> 3 per layer (zero init)
+
+  StructureModule(ParamStore& store, const std::string& prefix,
+                  const ModelConfig& cfg, Rng& rng);
+
+  struct Output {
+    Var single;     ///< [R, c_s]
+    Var positions;  ///< [R, 3]
+  };
+  Output operator()(const Var& msa, const Var& pair) const;
+};
+
+struct ModelOutput {
+  Var loss;           ///< total loss (defined when compute_loss)
+  Tensor positions;   ///< [R,3] predicted C-alpha coordinates (final cycle)
+  float lddt = 0.0f;  ///< lDDT-Ca vs batch target (when compute_loss)
+  int64_t recycles_used = 0;
+  // Loss components (values; populated when aux losses are enabled).
+  float structural_loss_value = 0.0f;
+  float masked_msa_loss_value = 0.0f;
+  float distogram_loss_value = 0.0f;
+};
+
+class MiniAlphaFold {
+ public:
+  MiniAlphaFold(const ModelConfig& cfg, uint64_t seed = 7);
+
+  const ModelConfig& config() const { return cfg_; }
+  ParamStore& params() { return store_; }
+  const ParamStore& params() const { return store_; }
+
+  /// Full forward with recycling. Gradients flow through the last cycle
+  /// only (AF2 training semantics); earlier cycles are detached.
+  /// `dropout_rng` non-null enables the configured training dropout.
+  ModelOutput forward(const data::Batch& batch, int64_t num_recycles,
+                      bool compute_loss, Rng* dropout_rng = nullptr) const;
+
+  /// The non-DAP-parallelizable serial stage (§3.1), exposed for the
+  /// serial-fraction measurements.
+  const StructureModule& structure_module() const { return structure; }
+
+  /// Structural loss: distance-matrix weighted MSE, local pairs
+  /// (d_true < 15 A) weighted 1.0, distant pairs 0.05, padding masked out.
+  static Var structural_loss(const Var& positions, const Tensor& target_pos,
+                             const Tensor& residue_mask);
+
+  /// Masked-MSA corruption: replaces the one-hot block of a deterministic
+  /// ~masked_msa_fraction of valid (row, position) sites with the uniform
+  /// "mask token" distribution. Returns the corrupted features plus the
+  /// flattened site indices and their true classes.
+  struct MaskedMsa {
+    Tensor corrupted;                 ///< [S, R, msa_feat_dim]
+    std::vector<int64_t> sites;       ///< flattened s*R + r indices
+    std::vector<int64_t> classes;     ///< true amino-acid ids per site
+  };
+  MaskedMsa corrupt_msa(const data::Batch& batch) const;
+
+ private:
+  struct TrunkOutput {
+    Var msa;
+    Var pair;
+  };
+  /// One trunk pass: embed -> template/extra stacks -> Evoformer stack.
+  /// `msa_feat_override` substitutes the batch's MSA features (used by the
+  /// masked-MSA corruption).
+  TrunkOutput run_trunk(const data::Batch& batch, const Var* recycled_pair,
+                        const Tensor* prev_positions,
+                        const Tensor* msa_feat_override = nullptr,
+                        Rng* dropout_rng = nullptr) const;
+
+
+  ModelConfig cfg_;
+  ParamStore store_;
+
+  // Input embeddings.
+  LinearLayer msa_embed;      ///< msa_feat -> c_m
+  LinearLayer target_embed;   ///< seq one-hot -> c_m (broadcast over rows)
+  LinearLayer pair_embed_a;   ///< seq one-hot -> c_z (outer-sum left)
+  LinearLayer pair_embed_b;   ///< seq one-hot -> c_z (outer-sum right)
+  LinearLayer relpos_embed;   ///< relpos one-hot -> c_z
+  LinearLayer template_embed; ///< template distogram -> c_z (when the
+                              ///< template stack is enabled)
+
+  // Recycling embedders.
+  LayerNormLayer recycle_pair_ln;
+  LinearLayer recycle_pair;
+  LinearLayer recycle_dist;   ///< distance bins of previous prediction -> c_z
+
+  std::vector<PairBlock> template_stack;
+  std::vector<EvoformerBlock> extra_stack;
+  std::vector<EvoformerBlock> evoformer;
+  StructureModule structure;
+
+  // Auxiliary heads (created when cfg.aux_losses).
+  LinearLayer masked_msa_head;  ///< c_m -> num_aa
+  LinearLayer distogram_head;   ///< c_z -> distogram_bins
+};
+
+}  // namespace sf::model

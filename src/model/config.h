@@ -1,0 +1,102 @@
+// Model configuration for the mini-AlphaFold.
+//
+// Architecture follows Fig. 1/Fig. 2 of the paper (and AlphaFold2 §1.6):
+// input embeddings -> (extra-MSA stack, template pair stack) -> Evoformer
+// stack -> structure module, with recycling around the whole trunk. Every
+// depth/width is configurable; defaults are laptop-scale while the paper's
+// full-size values are kept alongside for the simulator workload spec.
+#pragma once
+
+#include <cstdint>
+
+namespace sf::model {
+
+struct ModelConfig {
+  // Input dims (match sf::data featurization).
+  int64_t msa_rows = 8;       ///< S: MSA sequences per sample (paper: 128)
+  int64_t crop_len = 48;      ///< R: residues per crop   (paper: 256)
+  int64_t msa_feat_dim = 42;  ///< per-position MSA feature width
+  int64_t num_aa = 20;
+
+  // Representation widths.
+  int64_t c_m = 32;  ///< MSA representation channels   (paper: 256)
+  int64_t c_z = 16;  ///< pair representation channels  (paper: 128)
+  int64_t c_s = 32;  ///< single representation channels (paper: 384)
+
+  // Attention geometry.
+  int64_t heads = 2;     ///< attention heads (paper: 8)
+  int64_t head_dim = 8;  ///< per-head dim    (paper: 32)
+
+  // Stack depths (paper values in Fig. 1: 48 Evoformer, 4 extra-MSA,
+  // 2 template-pair blocks).
+  int64_t evoformer_blocks = 2;
+  int64_t extra_msa_blocks = 1;
+  int64_t template_pair_blocks = 1;
+  bool use_extra_msa_stack = true;
+  bool use_template_stack = true;
+  /// Distance bins of the template distogram features (sf::data).
+  int64_t template_bins = 8;
+
+  // Outer-product-mean projection dims (paper: 32x32).
+  int64_t opm_dim = 4;
+  // Transition (MLP) expansion factor (paper: 4).
+  int64_t transition_factor = 2;
+
+  // Structure module (the serial module of §3.1).
+  int64_t structure_layers = 3;
+
+  // Relative-position encoding bins (AlphaFold uses 65: +-32).
+  int64_t relpos_bins = 17;  ///< +-8
+
+  // Training dropout (AF2: row-wise 0.15 on MSA updates, 0.25 on pair
+  // updates; applied only when a dropout RNG is supplied to forward()).
+  float msa_dropout = 0.0f;
+  float pair_dropout = 0.0f;
+
+  // Recycling (paper: 1..4 cycles sampled per step).
+  int64_t max_recycles = 2;
+  int64_t recycle_dist_bins = 8;
+
+  // Kernel selection (the ScaleFold toggles exercised by tests/benches).
+  bool use_flash_mha = true;
+  bool use_fused_layernorm = true;
+
+  // Gradient checkpointing over Evoformer blocks (§2.2: OpenFold's
+  // memory-for-speed trade; §4.1: DAP's memory headroom lets ScaleFold
+  // disable it, eliminating backward recompute).
+  bool gradient_checkpointing = false;
+
+  // bf16 activation rounding at module boundaries (emulated storage).
+  bool bf16_activations = false;
+
+  // Auxiliary training losses (AlphaFold2 §1.9: masked-MSA BERT loss and
+  // distogram loss; the OpenFold training objective the paper trains).
+  bool aux_losses = false;
+  float masked_msa_weight = 0.1f;
+  float distogram_weight = 0.1f;
+  float masked_msa_fraction = 0.15f;
+  int64_t distogram_bins = 16;
+  float distogram_bin_width = 3.0f;  ///< Angstrom per bin
+
+  /// Paper-scale configuration used by the simulator workload census.
+  static ModelConfig paper_scale() {
+    ModelConfig c;
+    c.msa_rows = 128;
+    c.crop_len = 256;
+    c.c_m = 256;
+    c.c_z = 128;
+    c.c_s = 384;
+    c.heads = 8;
+    c.head_dim = 32;
+    c.evoformer_blocks = 48;
+    c.extra_msa_blocks = 4;
+    c.template_pair_blocks = 2;
+    c.opm_dim = 32;
+    c.transition_factor = 4;
+    c.structure_layers = 8;
+    c.max_recycles = 4;
+    return c;
+  }
+};
+
+}  // namespace sf::model

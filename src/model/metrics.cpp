@@ -1,0 +1,107 @@
+#include "model/metrics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sf::model {
+
+float lddt_ca(const Tensor& pred, const Tensor& truth, const Tensor& mask,
+              float inclusion_radius) {
+  SF_CHECK(pred.shape().size() == 2 && pred.shape()[1] == 3);
+  SF_CHECK(pred.shape() == truth.shape());
+  const int64_t r = pred.shape()[0];
+  SF_CHECK(mask.numel() == r);
+
+  static constexpr float kThresholds[4] = {0.5f, 1.0f, 2.0f, 4.0f};
+
+  auto dist = [](const float* p, int64_t i, int64_t j) {
+    float dx = p[i * 3] - p[j * 3];
+    float dy = p[i * 3 + 1] - p[j * 3 + 1];
+    float dz = p[i * 3 + 2] - p[j * 3 + 2];
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+  };
+
+  double total = 0.0;
+  int64_t residues_scored = 0;
+  for (int64_t i = 0; i < r; ++i) {
+    if (mask.at(i) < 0.5f) continue;
+    double score = 0.0;
+    int64_t pairs = 0;
+    for (int64_t j = 0; j < r; ++j) {
+      if (j == i || mask.at(j) < 0.5f) continue;
+      float dt = dist(truth.data(), i, j);
+      if (dt >= inclusion_radius) continue;
+      float dp = dist(pred.data(), i, j);
+      float err = std::fabs(dp - dt);
+      int hits = 0;
+      for (float thr : kThresholds) {
+        if (err < thr) ++hits;
+      }
+      score += hits / 4.0;
+      ++pairs;
+    }
+    if (pairs > 0) {
+      total += score / pairs;
+      ++residues_scored;
+    }
+  }
+  if (residues_scored == 0) return 1.0f;
+  return static_cast<float>(total / residues_scored);
+}
+
+
+namespace {
+
+float pair_dist(const float* p, int64_t i, int64_t j) {
+  float dx = p[i * 3] - p[j * 3];
+  float dy = p[i * 3 + 1] - p[j * 3 + 1];
+  float dz = p[i * 3 + 2] - p[j * 3 + 2];
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace
+
+float drmsd(const Tensor& pred, const Tensor& truth, const Tensor& mask) {
+  SF_CHECK(pred.shape().size() == 2 && pred.shape()[1] == 3);
+  SF_CHECK(pred.shape() == truth.shape());
+  const int64_t r = pred.shape()[0];
+  SF_CHECK(mask.numel() == r);
+  double acc = 0.0;
+  int64_t pairs = 0;
+  for (int64_t i = 0; i < r; ++i) {
+    if (mask.at(i) < 0.5f) continue;
+    for (int64_t j = i + 1; j < r; ++j) {
+      if (mask.at(j) < 0.5f) continue;
+      double d = pair_dist(pred.data(), i, j) - pair_dist(truth.data(), i, j);
+      acc += d * d;
+      ++pairs;
+    }
+  }
+  if (pairs == 0) return 0.0f;
+  return static_cast<float>(std::sqrt(acc / pairs));
+}
+
+float contact_precision(const Tensor& pred, const Tensor& truth,
+                        const Tensor& mask, float threshold,
+                        int64_t min_separation) {
+  SF_CHECK(pred.shape().size() == 2 && pred.shape()[1] == 3);
+  SF_CHECK(pred.shape() == truth.shape());
+  const int64_t r = pred.shape()[0];
+  SF_CHECK(mask.numel() == r);
+  int64_t predicted = 0, correct = 0;
+  for (int64_t i = 0; i < r; ++i) {
+    if (mask.at(i) < 0.5f) continue;
+    for (int64_t j = i + min_separation; j < r; ++j) {
+      if (mask.at(j) < 0.5f) continue;
+      if (pair_dist(pred.data(), i, j) < threshold) {
+        ++predicted;
+        if (pair_dist(truth.data(), i, j) < threshold) ++correct;
+      }
+    }
+  }
+  if (predicted == 0) return 1.0f;
+  return static_cast<float>(correct) / static_cast<float>(predicted);
+}
+
+}  // namespace sf::model

@@ -1,0 +1,33 @@
+// Structural metrics: lDDT-Calpha.
+//
+// lDDT (local Distance Difference Test) is the training/eval metric the
+// paper gates on: avg_lddt_ca must exceed 0.8 by step 5000 and reach 0.9
+// for convergence (§4.2, Fig. 11). Implemented exactly: for every residue
+// pair (i != j) with true distance below the 15 A inclusion radius, score
+// the fraction of thresholds {0.5, 1, 2, 4} A the predicted distance
+// error stays within; average per residue, then over residues.
+// Superposition-free by construction.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace sf::model {
+
+/// pred/truth are [R,3] C-alpha coordinates; mask is [R] (1 = real
+/// residue). Returns lDDT-Ca in [0,1]; 1 when no valid pair exists.
+float lddt_ca(const Tensor& pred, const Tensor& truth, const Tensor& mask,
+              float inclusion_radius = 15.0f);
+
+/// Distance-matrix RMSD (superposition-free): sqrt of the mean squared
+/// difference between predicted and true pairwise C-alpha distances over
+/// valid pairs (i != j). 0 for a perfect prediction.
+float drmsd(const Tensor& pred, const Tensor& truth, const Tensor& mask);
+
+/// Long-range contact precision: of the predicted contacts (pairs with
+/// |i-j| >= min_separation and predicted distance < threshold), the
+/// fraction that are true contacts. Returns 1 when nothing is predicted.
+float contact_precision(const Tensor& pred, const Tensor& truth,
+                        const Tensor& mask, float threshold = 8.0f,
+                        int64_t min_separation = 6);
+
+}  // namespace sf::model

@@ -1,0 +1,232 @@
+#include "model/modules.h"
+
+#include "common/error.h"
+
+namespace sf::model {
+
+using namespace autograd;
+
+LinearLayer::LinearLayer(ParamStore& store, const std::string& prefix,
+                         int64_t in, int64_t out, Rng& rng, bool bias,
+                         Init weight_init) {
+  w = store.create(prefix + ".w", {in, out}, weight_init, rng);
+  if (bias) b = store.create(prefix + ".b", {out}, Init::kZeros, rng);
+}
+
+Var LinearLayer::operator()(const Var& x) const {
+  return linear(x, w, b.defined() ? &b : nullptr);
+}
+
+LayerNormLayer::LayerNormLayer(ParamStore& store, const std::string& prefix,
+                               int64_t dim, Rng& rng, bool fused_kernels)
+    : fused(fused_kernels) {
+  gamma = store.create(prefix + ".gamma", {dim}, Init::kOnes, rng);
+  beta = store.create(prefix + ".beta", {dim}, Init::kZeros, rng);
+}
+
+Var LayerNormLayer::operator()(const Var& x) const {
+  return layernorm(x, gamma, beta, 1e-5f, fused);
+}
+
+GatedAttention::GatedAttention(ParamStore& store, const std::string& prefix,
+                               int64_t c_in, const ModelConfig& cfg, Rng& rng)
+    : heads(cfg.heads), head_dim(cfg.head_dim), use_flash(cfg.use_flash_mha) {
+  const int64_t c_hidden = heads * head_dim;
+  q_proj = LinearLayer(store, prefix + ".q", c_in, c_hidden, rng, false);
+  k_proj = LinearLayer(store, prefix + ".k", c_in, c_hidden, rng, false);
+  v_proj = LinearLayer(store, prefix + ".v", c_in, c_hidden, rng, false);
+  gate_proj = LinearLayer(store, prefix + ".gate", c_in, c_hidden, rng, true);
+  out_proj = LinearLayer(store, prefix + ".out", c_hidden, c_in, rng, true,
+                         Init::kFinalZero);
+}
+
+Var GatedAttention::operator()(const Var& x, const Var* pair_bias,
+                               const Tensor* mask) const {
+  SF_CHECK(x.shape().size() == 3) << "GatedAttention expects [B,S,C]";
+  const int64_t batch = x.shape()[0];
+  const int64_t seq = x.shape()[1];
+  const int64_t c_in = x.shape()[2];
+  Var rows = reshape(x, {batch * seq, c_in});
+
+  // The four pre-attention projections (the paper's GEMM-batching target;
+  // kernel-level fusion is benchmarked in bench_kernels_micro).
+  Var q = split_heads(q_proj(rows), batch, seq, heads, head_dim);
+  Var k = split_heads(k_proj(rows), batch, seq, heads, head_dim);
+  Var v = split_heads(v_proj(rows), batch, seq, heads, head_dim);
+  Var gate = gate_proj(rows);
+
+  Var ctx = mha(q, k, v, pair_bias, mask, use_flash);
+  Var merged = merge_heads(ctx);
+  Var gated = glu(merged, gate);
+  Var out = out_proj(gated);
+  return reshape(out, {batch, seq, out.shape().back()});
+}
+
+MSARowAttentionWithPairBias::MSARowAttentionWithPairBias(
+    ParamStore& store, const std::string& prefix, const ModelConfig& cfg,
+    Rng& rng)
+    : ln_msa(store, prefix + ".ln_msa", cfg.c_m, rng, cfg.use_fused_layernorm),
+      ln_pair(store, prefix + ".ln_pair", cfg.c_z, rng,
+              cfg.use_fused_layernorm),
+      bias_proj(store, prefix + ".bias_proj", cfg.c_z, cfg.heads, rng, false),
+      attn(store, prefix + ".attn", cfg.c_m, cfg, rng),
+      heads(cfg.heads) {}
+
+Var MSARowAttentionWithPairBias::operator()(const Var& msa, const Var& pair,
+                                            const Tensor* mask) const {
+  Var m = ln_msa(msa);
+  Var z = ln_pair(pair);
+  // Pair bias: [R,R,c_z] -> [R,R,H] -> [H,R,R], shared across MSA rows.
+  Var bias = permute3(bias_proj(z), {2, 0, 1});
+  return attn(m, &bias, mask);
+}
+
+MSAColumnAttention::MSAColumnAttention(ParamStore& store,
+                                       const std::string& prefix,
+                                       const ModelConfig& cfg, Rng& rng)
+    : ln(store, prefix + ".ln", cfg.c_m, rng, cfg.use_fused_layernorm),
+      attn(store, prefix + ".attn", cfg.c_m, cfg, rng) {}
+
+Var MSAColumnAttention::operator()(const Var& msa) const {
+  // [S,R,c] -> [R,S,c]: attend along the MSA axis within each column.
+  Var m = permute3(ln(msa), {1, 0, 2});
+  Var out = attn(m, nullptr, nullptr);
+  return permute3(out, {1, 0, 2});
+}
+
+Transition::Transition(ParamStore& store, const std::string& prefix,
+                       int64_t dim, const ModelConfig& cfg, Rng& rng)
+    : ln(store, prefix + ".ln", dim, rng, cfg.use_fused_layernorm),
+      fc1(store, prefix + ".fc1", dim, dim * cfg.transition_factor, rng),
+      fc2(store, prefix + ".fc2", dim * cfg.transition_factor, dim, rng, true,
+          Init::kFinalZero) {}
+
+Var Transition::operator()(const Var& x) const {
+  return fc2(gelu(fc1(ln(x))));
+}
+
+OuterProductMean::OuterProductMean(ParamStore& store,
+                                   const std::string& prefix,
+                                   const ModelConfig& cfg, Rng& rng)
+    : ln(store, prefix + ".ln", cfg.c_m, rng, cfg.use_fused_layernorm),
+      a_proj(store, prefix + ".a", cfg.c_m, cfg.opm_dim, rng),
+      b_proj(store, prefix + ".b", cfg.c_m, cfg.opm_dim, rng),
+      out_proj(store, prefix + ".out", cfg.opm_dim * cfg.opm_dim, cfg.c_z,
+               rng, true, Init::kFinalZero) {}
+
+Var OuterProductMean::operator()(const Var& msa) const {
+  Var m = ln(msa);
+  Var a = a_proj(m);
+  Var b = b_proj(m);
+  Var op = outer_product_mean(a, b);
+  return out_proj(op);
+}
+
+TriangleMultiplication::TriangleMultiplication(ParamStore& store,
+                                               const std::string& prefix,
+                                               bool outgoing_edges,
+                                               const ModelConfig& cfg,
+                                               Rng& rng)
+    : outgoing(outgoing_edges),
+      ln_in(store, prefix + ".ln_in", cfg.c_z, rng, cfg.use_fused_layernorm),
+      ln_out(store, prefix + ".ln_out", cfg.c_z, rng, cfg.use_fused_layernorm),
+      a_proj(store, prefix + ".a", cfg.c_z, cfg.c_z, rng),
+      a_gate(store, prefix + ".a_gate", cfg.c_z, cfg.c_z, rng),
+      b_proj(store, prefix + ".b", cfg.c_z, cfg.c_z, rng),
+      b_gate(store, prefix + ".b_gate", cfg.c_z, cfg.c_z, rng),
+      out_proj(store, prefix + ".out", cfg.c_z, cfg.c_z, rng, true,
+               Init::kFinalZero),
+      out_gate(store, prefix + ".out_gate", cfg.c_z, cfg.c_z, rng) {}
+
+Var TriangleMultiplication::operator()(const Var& pair) const {
+  Var x = ln_in(pair);
+  Var a = glu(a_proj(x), a_gate(x));
+  Var b = glu(b_proj(x), b_gate(x));
+  Var t = ln_out(triangle_multiply(a, b, outgoing));
+  return glu(out_proj(t), out_gate(x));
+}
+
+TriangleAttention::TriangleAttention(ParamStore& store,
+                                     const std::string& prefix,
+                                     bool starting_node,
+                                     const ModelConfig& cfg, Rng& rng)
+    : starting(starting_node),
+      ln(store, prefix + ".ln", cfg.c_z, rng, cfg.use_fused_layernorm),
+      bias_proj(store, prefix + ".bias_proj", cfg.c_z, cfg.heads, rng, false),
+      attn(store, prefix + ".attn", cfg.c_z, cfg, rng),
+      heads(cfg.heads) {}
+
+Var TriangleAttention::operator()(const Var& pair) const {
+  Var x = ln(pair);
+  if (!starting) x = permute3(x, {1, 0, 2});
+  // Bias from the (possibly transposed) pair activations themselves.
+  Var bias = permute3(bias_proj(x), {2, 0, 1});
+  Var out = attn(x, &bias, nullptr);
+  if (!starting) out = permute3(out, {1, 0, 2});
+  return out;
+}
+
+EvoformerBlock::EvoformerBlock(ParamStore& store, const std::string& prefix,
+                               const ModelConfig& cfg, Rng& rng)
+    : row_attn(store, prefix + ".row_attn", cfg, rng),
+      col_attn(store, prefix + ".col_attn", cfg, rng),
+      msa_transition(store, prefix + ".msa_trans", cfg.c_m, cfg, rng),
+      opm(store, prefix + ".opm", cfg, rng),
+      tri_mul_out(store, prefix + ".tri_mul_out", true, cfg, rng),
+      tri_mul_in(store, prefix + ".tri_mul_in", false, cfg, rng),
+      tri_attn_start(store, prefix + ".tri_attn_start", true, cfg, rng),
+      tri_attn_end(store, prefix + ".tri_attn_end", false, cfg, rng),
+      pair_transition(store, prefix + ".pair_trans", cfg.c_z, cfg, rng) {}
+
+EvoformerBlock::State EvoformerBlock::operator()(State in,
+                                                 const Tensor* residue_mask,
+                                                 Rng* dropout_rng,
+                                                 float msa_dropout,
+                                                 float pair_dropout) const {
+  // Additive key mask for row attention: [S, R] with -1e9 on padding.
+  Tensor add_mask;
+  const Tensor* mask_ptr = nullptr;
+  if (residue_mask) {
+    const int64_t s = in.msa.shape()[0];
+    const int64_t r = in.msa.shape()[1];
+    SF_CHECK(residue_mask->numel() == r);
+    add_mask = Tensor({s, r});
+    for (int64_t i = 0; i < s; ++i) {
+      for (int64_t j = 0; j < r; ++j) {
+        add_mask.at(i * r + j) =
+            residue_mask->at(j) > 0.5f ? 0.0f : -1e9f;
+      }
+    }
+    mask_ptr = &add_mask;
+  }
+
+  // AF2-style row-wise training dropout on the residual updates; identity
+  // at evaluation time (no RNG supplied) or rate 0.
+  auto drop_msa = [&](Var update) {
+    if (dropout_rng && msa_dropout > 0.0f) {
+      return dropout_rows(update, msa_dropout, *dropout_rng);
+    }
+    return update;
+  };
+  auto drop_pair = [&](Var update) {
+    if (dropout_rng && pair_dropout > 0.0f) {
+      return dropout_rows(update, pair_dropout, *dropout_rng);
+    }
+    return update;
+  };
+
+  Var msa = in.msa;
+  Var pair = in.pair;
+  msa = add(msa, drop_msa(row_attn(msa, pair, mask_ptr)));
+  msa = add(msa, col_attn(msa));
+  msa = add(msa, msa_transition(msa));
+  pair = add(pair, opm(msa));
+  pair = add(pair, drop_pair(tri_mul_out(pair)));
+  pair = add(pair, drop_pair(tri_mul_in(pair)));
+  pair = add(pair, drop_pair(tri_attn_start(pair)));
+  pair = add(pair, drop_pair(tri_attn_end(pair)));
+  pair = add(pair, pair_transition(pair));
+  return {msa, pair};
+}
+
+}  // namespace sf::model

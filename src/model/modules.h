@@ -1,0 +1,148 @@
+// Building-block modules of the mini-AlphaFold (Fig. 2 of the paper).
+//
+// Each module is a small value type holding its parameters (created via
+// ParamStore) and exposing a functional forward over autograd Vars. The
+// nine Evoformer sub-modules are implemented individually so profiling,
+// the kernel census, and DAP cost modeling can attribute work per module.
+#pragma once
+
+#include <string>
+
+#include "autograd/ops.h"
+#include "model/config.h"
+#include "model/params.h"
+
+namespace sf::model {
+
+using autograd::Var;
+
+/// y = x W (+ b). AF2-style init selected per role.
+struct LinearLayer {
+  Var w;
+  Var b;  ///< undefined when bias-free
+  LinearLayer() = default;
+  LinearLayer(ParamStore& store, const std::string& prefix, int64_t in,
+              int64_t out, Rng& rng, bool bias = true,
+              Init weight_init = Init::kLecunNormal);
+  Var operator()(const Var& x) const;
+};
+
+struct LayerNormLayer {
+  Var gamma;
+  Var beta;
+  bool fused = true;
+  LayerNormLayer() = default;
+  LayerNormLayer(ParamStore& store, const std::string& prefix, int64_t dim,
+                 Rng& rng, bool fused);
+  Var operator()(const Var& x) const;
+};
+
+/// Gated multi-head attention with optional pair bias — the shared core of
+/// MSA row/col attention and triangle attention (Fig. 6).
+struct GatedAttention {
+  int64_t heads = 0;
+  int64_t head_dim = 0;
+  bool use_flash = true;
+  LinearLayer q_proj, k_proj, v_proj, gate_proj, out_proj;
+
+  GatedAttention() = default;
+  GatedAttention(ParamStore& store, const std::string& prefix, int64_t c_in,
+                 const ModelConfig& cfg, Rng& rng);
+
+  /// x: [B, S, C]; pair_bias: optional [H, S, S]; mask: optional additive
+  /// [B, S]. Returns [B, S, C_out = heads*head_dim -> c_in via out_proj].
+  Var operator()(const Var& x, const Var* pair_bias,
+                 const Tensor* mask) const;
+};
+
+/// MSARowAttentionWithPairBias (Fig. 6): attention along residues within
+/// each MSA row, logits biased by the pair representation.
+struct MSARowAttentionWithPairBias {
+  LayerNormLayer ln_msa, ln_pair;
+  LinearLayer bias_proj;  ///< c_z -> heads, no bias
+  GatedAttention attn;
+  int64_t heads;
+
+  MSARowAttentionWithPairBias(ParamStore& store, const std::string& prefix,
+                              const ModelConfig& cfg, Rng& rng);
+  /// msa: [S, R, c_m], pair: [R, R, c_z] -> residual update [S, R, c_m].
+  Var operator()(const Var& msa, const Var& pair, const Tensor* mask) const;
+};
+
+/// MSAColumnAttention: attention along the MSA (sequence) axis per column.
+struct MSAColumnAttention {
+  LayerNormLayer ln;
+  GatedAttention attn;
+  MSAColumnAttention(ParamStore& store, const std::string& prefix,
+                     const ModelConfig& cfg, Rng& rng);
+  Var operator()(const Var& msa) const;
+};
+
+/// Two-layer MLP transition (MSA or pair flavor, width factor cfg).
+struct Transition {
+  LayerNormLayer ln;
+  LinearLayer fc1, fc2;
+  Transition(ParamStore& store, const std::string& prefix, int64_t dim,
+             const ModelConfig& cfg, Rng& rng);
+  Var operator()(const Var& x) const;
+};
+
+/// OuterProductMean: MSA -> pair communication.
+struct OuterProductMean {
+  LayerNormLayer ln;
+  LinearLayer a_proj, b_proj, out_proj;
+  OuterProductMean(ParamStore& store, const std::string& prefix,
+                   const ModelConfig& cfg, Rng& rng);
+  /// msa [S,R,c_m] -> pair update [R,R,c_z].
+  Var operator()(const Var& msa) const;
+};
+
+/// Triangle multiplicative update (outgoing or incoming edges).
+struct TriangleMultiplication {
+  bool outgoing;
+  LayerNormLayer ln_in, ln_out;
+  LinearLayer a_proj, a_gate, b_proj, b_gate, out_proj, out_gate;
+  TriangleMultiplication(ParamStore& store, const std::string& prefix,
+                         bool outgoing, const ModelConfig& cfg, Rng& rng);
+  Var operator()(const Var& pair) const;
+};
+
+/// Triangle self-attention around starting (or ending) node.
+struct TriangleAttention {
+  bool starting;
+  LayerNormLayer ln;
+  LinearLayer bias_proj;
+  GatedAttention attn;
+  int64_t heads;
+  TriangleAttention(ParamStore& store, const std::string& prefix,
+                    bool starting, const ModelConfig& cfg, Rng& rng);
+  Var operator()(const Var& pair) const;
+};
+
+/// One Evoformer block: the nine modules of Fig. 2 with residual wiring.
+struct EvoformerBlock {
+  MSARowAttentionWithPairBias row_attn;
+  MSAColumnAttention col_attn;
+  Transition msa_transition;
+  OuterProductMean opm;
+  TriangleMultiplication tri_mul_out;
+  TriangleMultiplication tri_mul_in;
+  TriangleAttention tri_attn_start;
+  TriangleAttention tri_attn_end;
+  Transition pair_transition;
+
+  EvoformerBlock(ParamStore& store, const std::string& prefix,
+                 const ModelConfig& cfg, Rng& rng);
+
+  struct State {
+    Var msa;   ///< [S, R, c_m]
+    Var pair;  ///< [R, R, c_z]
+  };
+  /// `dropout_rng` non-null enables training dropout (AF2 row-wise on the
+  /// MSA/pair updates) with the given rates.
+  State operator()(State in, const Tensor* residue_mask,
+                   Rng* dropout_rng = nullptr, float msa_dropout = 0.0f,
+                   float pair_dropout = 0.0f) const;
+};
+
+}  // namespace sf::model

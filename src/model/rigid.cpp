@@ -1,0 +1,176 @@
+#include "model/rigid.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sf::model {
+namespace {
+
+Vec3 sub(const Vec3& a, const Vec3& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+
+float dot(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+
+Vec3 normalize(const Vec3& v) {
+  float n = std::sqrt(dot(v, v));
+  if (n < 1e-8f) return {1, 0, 0};
+  return {v[0] / n, v[1] / n, v[2] / n};
+}
+
+}  // namespace
+
+Quat quat_normalize(const Quat& q) {
+  float n = std::sqrt(q.w * q.w + q.x * q.x + q.y * q.y + q.z * q.z);
+  if (n < 1e-12f) return Quat{};
+  return {q.w / n, q.x / n, q.y / n, q.z / n};
+}
+
+Quat quat_multiply(const Quat& a, const Quat& b) {
+  return {a.w * b.w - a.x * b.x - a.y * b.y - a.z * b.z,
+          a.w * b.x + a.x * b.w + a.y * b.z - a.z * b.y,
+          a.w * b.y - a.x * b.z + a.y * b.w + a.z * b.x,
+          a.w * b.z + a.x * b.y - a.y * b.x + a.z * b.w};
+}
+
+Rot3 quat_to_rot(const Quat& q) {
+  Rot3 r;
+  const float w = q.w, x = q.x, y = q.y, z = q.z;
+  r.m = {1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y),
+         2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x),
+         2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)};
+  return r;
+}
+
+Vec3 rot_apply(const Rot3& r, const Vec3& v) {
+  return {r.m[0] * v[0] + r.m[1] * v[1] + r.m[2] * v[2],
+          r.m[3] * v[0] + r.m[4] * v[1] + r.m[5] * v[2],
+          r.m[6] * v[0] + r.m[7] * v[1] + r.m[8] * v[2]};
+}
+
+Rot3 rot_transpose(const Rot3& r) {
+  Rot3 t;
+  t.m = {r.m[0], r.m[3], r.m[6], r.m[1], r.m[4], r.m[7],
+         r.m[2], r.m[5], r.m[8]};
+  return t;
+}
+
+Rot3 rot_multiply(const Rot3& a, const Rot3& b) {
+  Rot3 c;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      float acc = 0;
+      for (int k = 0; k < 3; ++k) acc += a.m[i * 3 + k] * b.m[k * 3 + j];
+      c.m[i * 3 + j] = acc;
+    }
+  }
+  return c;
+}
+
+Vec3 frame_apply(const Frame& f, const Vec3& p) {
+  Vec3 r = rot_apply(f.rot, p);
+  return {r[0] + f.trans[0], r[1] + f.trans[1], r[2] + f.trans[2]};
+}
+
+Frame frame_compose(const Frame& a, const Frame& b) {
+  Frame c;
+  c.rot = rot_multiply(a.rot, b.rot);
+  c.trans = frame_apply(a, b.trans);
+  return c;
+}
+
+Frame frame_invert(const Frame& f) {
+  Frame inv;
+  inv.rot = rot_transpose(f.rot);
+  Vec3 t = rot_apply(inv.rot, f.trans);
+  inv.trans = {-t[0], -t[1], -t[2]};
+  return inv;
+}
+
+Frame frame_from_three_points(const Vec3& p_x, const Vec3& origin,
+                              const Vec3& p_xy) {
+  // Gram-Schmidt: e1 toward p_x, e2 in the (e1, p_xy) plane, e3 = e1 x e2.
+  Vec3 e1 = normalize(sub(p_x, origin));
+  Vec3 v2 = sub(p_xy, origin);
+  float proj = dot(v2, e1);
+  Vec3 e2 = normalize({v2[0] - proj * e1[0], v2[1] - proj * e1[1],
+                       v2[2] - proj * e1[2]});
+  Vec3 e3 = cross(e1, e2);
+  Frame f;
+  // Columns of R are the basis vectors (local -> global).
+  f.rot.m = {e1[0], e2[0], e3[0], e1[1], e2[1], e3[1], e1[2], e2[2], e3[2]};
+  f.trans = origin;
+  return f;
+}
+
+std::vector<Frame> frames_from_ca_trace(const Tensor& pos,
+                                        const Tensor& mask) {
+  SF_CHECK(pos.shape().size() == 2 && pos.shape()[1] == 3);
+  const int64_t r = pos.shape()[0];
+  SF_CHECK(mask.numel() == r);
+  auto at = [&](int64_t i) -> Vec3 {
+    return {pos.at(i * 3), pos.at(i * 3 + 1), pos.at(i * 3 + 2)};
+  };
+  auto valid = [&](int64_t i) { return i >= 0 && i < r && mask.at(i) > 0.5f; };
+  std::vector<Frame> frames(r);
+  for (int64_t i = 0; i < r; ++i) {
+    if (!valid(i)) continue;  // identity frame for padding
+    // Two *distinct* valid neighbors (rotation covariance requires three
+    // distinct points; at chain ends walk further along the chain).
+    int64_t n1 = -1, n2 = -1;
+    for (int64_t cand : {i + 1, i - 1, i + 2, i - 2}) {
+      if (!valid(cand)) continue;
+      if (n1 < 0) {
+        n1 = cand;
+      } else if (n2 < 0 && cand != n1) {
+        n2 = cand;
+        break;
+      }
+    }
+    if (n1 < 0 || n2 < 0) {
+      frames[i].trans = at(i);  // isolated residue: translation-only frame
+      continue;
+    }
+    frames[i] = frame_from_three_points(at(n1), at(i), at(n2));
+  }
+  return frames;
+}
+
+float fape(const Tensor& pred_pos, const Tensor& true_pos, const Tensor& mask,
+           float clamp, float scale) {
+  SF_CHECK(pred_pos.shape() == true_pos.shape());
+  const int64_t r = pred_pos.shape()[0];
+  auto pred_frames = frames_from_ca_trace(pred_pos, mask);
+  auto true_frames = frames_from_ca_trace(true_pos, mask);
+  auto at = [](const Tensor& t, int64_t i) -> Vec3 {
+    return {t.at(i * 3), t.at(i * 3 + 1), t.at(i * 3 + 2)};
+  };
+  double acc = 0.0;
+  int64_t pairs = 0;
+  for (int64_t i = 0; i < r; ++i) {
+    if (mask.at(i) < 0.5f) continue;
+    Frame pred_inv = frame_invert(pred_frames[i]);
+    Frame true_inv = frame_invert(true_frames[i]);
+    for (int64_t j = 0; j < r; ++j) {
+      if (j == i || mask.at(j) < 0.5f) continue;
+      Vec3 p_local = frame_apply(pred_inv, at(pred_pos, j));
+      Vec3 t_local = frame_apply(true_inv, at(true_pos, j));
+      Vec3 d = sub(p_local, t_local);
+      float err = std::sqrt(dot(d, d));
+      acc += std::min(err, clamp);
+      ++pairs;
+    }
+  }
+  if (pairs == 0) return 0.0f;
+  return static_cast<float>(acc / pairs) / scale;
+}
+
+}  // namespace sf::model

@@ -1,0 +1,65 @@
+// Rigid-body geometry: quaternions, rotations, frames, and FAPE.
+//
+// AlphaFold "explicitly represent[s] the 3D structure in the form of a
+// rotation and translation for each residue" (§2.1 of the paper). This
+// header provides that machinery as pure, heavily-testable functions:
+// unit-quaternion rotations, frame composition/inversion/application,
+// backbone frames derived from a C-alpha trace (Gram-Schmidt over
+// neighboring residues), and the Frame-Aligned Point Error used to score
+// structures in each residue's local coordinate system.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace sf::model {
+
+using Vec3 = std::array<float, 3>;
+
+struct Quat {
+  float w = 1, x = 0, y = 0, z = 0;
+};
+
+/// Row-major 3x3 rotation matrix.
+struct Rot3 {
+  std::array<float, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+};
+
+/// Rigid transform: p -> R p + t.
+struct Frame {
+  Rot3 rot;
+  Vec3 trans{0, 0, 0};
+};
+
+Quat quat_normalize(const Quat& q);
+Quat quat_multiply(const Quat& a, const Quat& b);
+Rot3 quat_to_rot(const Quat& q);  ///< q must be normalized
+
+Vec3 rot_apply(const Rot3& r, const Vec3& v);
+Rot3 rot_transpose(const Rot3& r);
+Rot3 rot_multiply(const Rot3& a, const Rot3& b);
+
+Vec3 frame_apply(const Frame& f, const Vec3& p);
+Frame frame_compose(const Frame& a, const Frame& b);  ///< (a o b)(p)=a(b(p))
+Frame frame_invert(const Frame& f);
+
+/// Orthonormal frame from three points (AF2 algorithm 21 on pseudo-atoms):
+/// origin at `origin`, x-axis toward `p_x`, xy-plane containing `p_xy`.
+Frame frame_from_three_points(const Vec3& p_x, const Vec3& origin,
+                              const Vec3& p_xy);
+
+/// Per-residue backbone frames from a C-alpha trace [R,3]: residue i's
+/// frame uses (CA_{i-1}, CA_i, CA_{i+1}) (clamped at chain ends). Residues
+/// with mask 0 get identity frames.
+std::vector<Frame> frames_from_ca_trace(const Tensor& pos,
+                                        const Tensor& mask);
+
+/// Frame-Aligned Point Error: for every (frame i, point j) pair, the
+/// clamped distance between the predicted and true point expressed in the
+/// respective local frames, averaged. Rigid-motion invariant.
+float fape(const Tensor& pred_pos, const Tensor& true_pos,
+           const Tensor& mask, float clamp = 10.0f, float scale = 10.0f);
+
+}  // namespace sf::model

@@ -1,0 +1,152 @@
+// Calibration constants for the cluster simulator.
+//
+// The simulator is mechanism-based (roofline kernels, ring collectives,
+// straggler maxima, serial fractions); the constants below anchor those
+// mechanisms to the measurements published in the paper. Each constant
+// cites its anchor. Changing an anchor changes the corresponding figure —
+// the benches print both paper and simulated values side by side.
+#pragma once
+
+namespace sf::sim::calib {
+
+// ---- Reference step time (Fig. 8) -----------------------------------------
+// "Reference model requires 6.76s per step on A100, while on H100 the step
+// time is reduced to 4.07s" (§4.1). Batch = 1 crop/GPU, bs128 global.
+inline constexpr double kRefStepA100 = 6.76;
+inline constexpr double kRefStepH100 = 4.07;
+// The measured reference steps above include the typical straggler/stall
+// noise of a live cluster; the simulator composes nominal kernel time plus
+// sampled noise, so the nominal profile is the paper number scaled down by
+// the expected noise share at the measurement scale (128 GPUs, eager).
+inline constexpr double kRefNominalScale = 0.85;
+
+// ---- Step-time composition at the reference point (§2.2, Table 1) ---------
+// Fractions of the reference step. MHA 34%, LN 14%, weight update 6%,
+// SWA 6%, grad clip 3%, CPU overhead 9.1%, serial modules (data pipeline +
+// structure module) 11%. Math-bound GEMM outside MHA ~10% (from Table 1's
+// 24% math-bound minus the MHA GEMM share). Remainder: other memory-bound.
+inline constexpr double kFracMha = 0.34;
+inline constexpr double kFracLayerNorm = 0.14;
+inline constexpr double kFracWeightUpdate = 0.06;
+inline constexpr double kFracSwa = 0.06;
+inline constexpr double kFracGradClip = 0.03;
+inline constexpr double kFracCpuOverhead = 0.091;
+inline constexpr double kFracSerial = 0.11;
+inline constexpr double kFracOtherGemm = 0.10;
+// kFracOtherMem = 1 - sum(above) = 0.069
+
+// ---- Baseline kernel efficiencies (§2.2) -----------------------------------
+// "MHA only reached 26% of the theoretical performance, and LN only
+// reached 10%... Weight Update ... 10% ... SWA ... less than 5% ...
+// gradient clipping ... less than 1%".
+inline constexpr double kEffMhaBaseline = 0.26;
+inline constexpr double kEffLnBaseline = 0.10;
+inline constexpr double kEffWuBaseline = 0.10;
+inline constexpr double kEffSwaBaseline = 0.05;
+inline constexpr double kEffClipBaseline = 0.01;
+
+// ---- Optimized kernel efficiencies (fit to §4.1 speedups) ------------------
+// Chosen so the waterfall reproduces: Triton MHA 1.12x, Triton LN 1.13x,
+// FusedAdam+SWA 1.17x overall-step speedups.
+inline constexpr double kEffMhaTriton = 0.385;
+inline constexpr double kEffLnTriton = 0.56;
+inline constexpr double kEffFusedAdamSwa = 0.80;
+
+// ---- Other optimization factors (fit to §4.1) ------------------------------
+// Batched pre-MHA GEMMs: 1.03x overall => ~25% cut of the non-MHA GEMM slice.
+inline constexpr double kBatchedGemmFactor = 0.75;
+// bf16 (§3.4: 1.24x overall; memory-bound workload, casting overhead and
+// fp32-only modules limit the gain below the ideal 2x byte reduction).
+inline constexpr double kBf16MemFactor = 0.62;
+inline constexpr double kBf16MathFactor = 0.80;
+// torch.compile (1.17x overall): fuses fragmented memory-bound ops and
+// "significantly accelerated serial modules such as the Structure Module".
+inline constexpr double kCompileOtherMemFactor = 0.35;
+inline constexpr double kCompileSerialFactor = 0.70;
+inline constexpr double kCompileMemopFactor = 0.50;
+// Gradient checkpointing recompute: disabling it removes the forward
+// recompute in backward (~25% of trunk compute).
+inline constexpr double kGradCkptRecompute = 0.25;
+
+// ---- DAP (FastFold-style) ---------------------------------------------------
+// Per-step DAP collective volume at DAP-n (activations all-gather/all-to-all
+// across 54 blocks, fwd+bwd), bytes at paper-scale dims, per GPU.
+inline constexpr double kDapCommBytesPerStep = 1.1e9;
+inline constexpr int kDapSyncPointsPerStep = 216;  // ~4 per block, 54 blocks
+// Kernel-efficiency knee: utilization = s / (s + kUtilHalfBytes) for
+// memory-bound kernels of size s bytes (wave-quantization analogue).
+// Fit so ScaleFold's own DAP speedups land near the paper's 1.6x/2.4x/
+// 2.77x at DAP-2/4/8.
+inline constexpr double kUtilHalfBytesMem = 7.2e7;
+// Measured relative kernel efficiency when DAP shrinks the per-kernel
+// workload n-fold (wave quantization makes it a staircase, with a cliff
+// between DAP-4 and DAP-8 implied by the paper's own speedup series).
+// Optimized (ScaleFold) kernels are small — bf16 + fused kernels shrink
+// per-kernel work — so DAP division bites hard (fits the paper's own
+// 1.6x/2.4x/2.77x DAP speedups):
+inline constexpr double kDapMemEffTable[4] = {1.0, 0.64, 0.60, 0.35};
+inline constexpr double kDapMathEffTable[4] = {1.0, 0.72, 0.66, 0.45};
+// Unoptimized baseline kernels are larger and sit above the saturation
+// knee until DAP-8, where the cliff makes DAP-8 no better than DAP-4
+// (fits §3.1: baseline DAP-2 1.42x, DAP-4 1.57x, no gain at DAP-8):
+inline constexpr double kDapMemEffTableLarge[4] = {1.0, 0.82, 0.80, 0.40};
+inline constexpr double kDapMathEffTableLarge[4] = {1.0, 0.88, 0.85, 0.55};
+inline constexpr double kUtilHalfFlopsMath = 8.0e10;
+// Typical per-kernel sizes at DAP-1 paper scale (to position the knee).
+inline constexpr double kTypicalMemKernelBytes = 6.0e7;
+inline constexpr double kTypicalMathKernelFlops = 1.2e11;
+// CUDA Graph effectiveness by DAP degree (§4.1: "CudaGraph is not
+// beneficial for DAP-1 ... can be advantageous for DAP-2, DAP-4, and
+// DAP-8"): at DAP-1 the kernels are long enough that launch work hides
+// behind asynchronous execution, so capturing removes little; as DAP
+// shrinks kernels the exposed launch path grows and capture pays off.
+inline constexpr double kGraphEffectiveness[4] = {0.10, 0.60, 0.85, 0.95};
+// Per-synchronization-point host jitter inside a DAP group: every block
+// boundary is a rendezvous, so eager-mode launch jitter multiplies across
+// the ~216 sync points (the mechanism that makes eager DAP-8 slower than
+// eager DAP-4, §4.1). CUDA Graph shrinks it by ~20x.
+inline constexpr double kPerSyncJitterEagerSec = 1.0e-3;
+inline constexpr double kPerSyncJitterGraphSec = 2.0e-4;
+
+// ---- Host-side noise (§3.1 "imbalanced communication") ---------------------
+// Background-process CPU peaks arrive at a fixed rate per wall-clock
+// second (longer steps absorb more events); they delay kernel launching,
+// so eager mode suffers and CUDA Graph replay is immune. Python GC adds
+// its own pause process until disabled (§3.2).
+inline constexpr double kCpuPeakRatePerSec = 0.003;   // per rank per second
+inline constexpr double kCpuPeakMeanSec = 0.35;
+inline constexpr double kGcPauseRatePerSec = 0.012;   // per rank per second
+inline constexpr double kGcPauseMeanSec = 0.12;
+
+// ---- Data pipeline (§3.2, Fig. 4/5) ----------------------------------------
+// Batch preparation times span ~3 decades; ~10% of batches are slow
+// enough to block. Log-normal fit anchored to a ~1.3s median at paper
+// scale with sigma giving a ~20x p99/median ratio.
+inline constexpr double kPrepLogMedianSec = 0.6;   // exp(mu)
+inline constexpr double kPrepLogSigma = 1.0;
+inline constexpr double kPrepMaxSec = 120.0;       // featurization cap
+inline constexpr int kLoaderWorkersPerRank = 4;
+inline constexpr int kLoaderPrefetchDepth = 8;
+
+// ---- Time-to-train (Fig. 9/10/11, §4.2) ------------------------------------
+inline constexpr double kInitCompileSec = 120.0;  // "~2 minutes init+compile"
+// MLPerf partial-convergence run: steps from the predefined checkpoint to
+// the lowered target at global batch 256.
+inline constexpr int kMlperfStepsToConverge = 400;
+// From-scratch: "avg_lddt_ca must exceed 0.8 before first 5000 training
+// steps ... 50000~60000 steps to reach 0.9".
+inline constexpr int kScratchPhase1Steps = 5000;     // bs 128
+inline constexpr int kScratchTotalSteps = 55000;     // bs 256 afterwards
+// Evaluation: ~180 full-length CASP-like proteins per round, evaluated
+// data-parallel in waves over the available evaluation GPUs. Per-protein
+// time scales with the model-kernel speedups active on the cluster
+// (Fig. 9: eval share grows 22% -> 43% as steps get faster). Reading the
+// set from disk instead of the DRAM cache multiplies per-round cost.
+inline constexpr int kEvalProteins = 180;
+inline constexpr double kEvalPerProteinRefSec = 75.0;
+inline constexpr double kEvalRoundOverheadSec = 3.0;
+inline constexpr double kEvalDiskFactor = 2.8;
+inline constexpr int kEvalEverySteps = 40;
+inline constexpr int kEvalDedicatedGpus = 32;  // 2080 = 2048 train + 32 eval
+
+}  // namespace sf::sim::calib

@@ -1,0 +1,253 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/calibration.h"
+#include "sim/collective.h"
+#include "sim/cost_model.h"
+
+namespace sf::sim {
+namespace {
+
+// Effective memory-bandwidth efficiency per arch (fraction of datasheet
+// reached by this workload's kernels; H100's larger L2 and TMA lift it).
+// Fit so the reference step reproduces 6.76s (A100) -> 4.07s (H100).
+double arch_mem_eff(const GpuArch& arch) {
+  return arch.name.find("H100") != std::string::npos ? 0.95 : 0.82;
+}
+
+// Harmonic number: E[max of n iid Exp(mu)] = mu * H(n).
+double harmonic(int n) {
+  double h = 0.0;
+  for (int i = 1; i <= n; ++i) h += 1.0 / i;
+  return h;
+}
+
+/// Per-category kernel/overhead seconds at the reference point on `arch`,
+/// DAP-1, all toggles off.
+struct CategoryTimes {
+  double mha, ln, gemm, other_mem, memop, wu, swa, clip, serial, cpu;
+};
+
+CategoryTimes reference_times(const GpuArch& arch) {
+  const StepProfile p = StepProfile::reference();
+  const GpuArch a100 = GpuArch::a100();
+  // Scale each fraction of the A100 reference step by the arch ratio:
+  // memory-bound categories by effective bandwidth, math by TF32 rate,
+  // host overhead by neither (CPU-side).
+  const double mem_ratio = (a100.mem_bw_gbs * arch_mem_eff(a100)) /
+                           (arch.mem_bw_gbs * arch_mem_eff(arch));
+  const double math_ratio = a100.tf32_tflops / arch.tf32_tflops;
+  const double T = calib::kRefStepA100 * calib::kRefNominalScale;
+  CategoryTimes t;
+  t.mha = T * p.mha * mem_ratio;          // flash-less MHA is bandwidth-bound
+  t.ln = T * p.layernorm * mem_ratio;
+  t.gemm = T * p.other_gemm * math_ratio;
+  t.other_mem = T * p.other_mem * mem_ratio;
+  t.memop = T * p.memop * mem_ratio;
+  t.wu = T * p.weight_update * mem_ratio;
+  t.swa = T * p.swa * mem_ratio;
+  t.clip = T * p.grad_clip * mem_ratio;
+  t.serial = T * p.serial * mem_ratio;
+  t.cpu = T * p.cpu_overhead;  // host-side, arch-independent
+  return t;
+}
+
+}  // namespace
+
+StepStats simulate_step_time(const ClusterConfig& cfg) {
+  SF_CHECK(cfg.num_gpus >= 1);
+  SF_CHECK(cfg.dap >= 1);
+  SF_CHECK(cfg.num_gpus % cfg.dap == 0) << "num_gpus must be divisible by dap";
+  const Toggles& tg = cfg.toggles;
+
+  CategoryTimes t = reference_times(cfg.arch);
+
+  // ---- Kernel-level toggles (§3.3.1) ----
+  if (tg.triton_mha) t.mha *= calib::kEffMhaBaseline / calib::kEffMhaTriton;
+  if (tg.triton_ln) t.ln *= calib::kEffLnBaseline / calib::kEffLnTriton;
+  if (tg.fused_adam_swa) {
+    t.wu *= calib::kEffWuBaseline / calib::kEffFusedAdamSwa;
+    t.swa *= calib::kEffSwaBaseline / calib::kEffFusedAdamSwa;
+    t.clip = 0.0;  // bucketed norm hidden under the gradient all-reduce
+  }
+  if (tg.batched_gemm) t.gemm *= calib::kBatchedGemmFactor;
+  if (tg.bf16) {
+    t.mha *= calib::kBf16MemFactor;
+    t.ln *= calib::kBf16MemFactor;
+    t.other_mem *= calib::kBf16MemFactor;
+    t.memop *= calib::kBf16MemFactor;
+    t.gemm *= calib::kBf16MathFactor;
+    t.serial *= calib::kBf16MemFactor;
+  }
+  if (tg.torch_compile) {
+    t.other_mem *= calib::kCompileOtherMemFactor;
+    t.memop *= calib::kCompileMemopFactor;
+    t.serial *= calib::kCompileSerialFactor;
+  }
+  // Disabling gradient checkpointing needs the activation-memory headroom
+  // DAP-8 provides (§4.1 applies it together with DAP-8 + CUDA Graph).
+  const bool ckpt_disabled = tg.disable_grad_ckpt && cfg.dap >= 8;
+  if (ckpt_disabled) {
+    // Remove the forward recompute from backward across the trunk.
+    const double f = 1.0 - calib::kGradCkptRecompute;
+    t.mha *= f;
+    t.ln *= f;
+    t.gemm *= f;
+    t.other_mem *= f;
+  }
+
+  // ---- DAP division with kernel-scalability loss (§3.1) ----
+  const int n = cfg.dap;
+  // bf16 and the fused kernels shrink per-launch work, pushing kernels
+  // into the small-size regime where DAP division costs more utilization.
+  const bool small_kernels = tg.bf16 || tg.triton_mha;
+  const double mem_eff = dap_mem_efficiency(n, small_kernels);
+  const double math_eff = dap_math_efficiency(n, small_kernels);
+  StepStats out;
+  const double par_mem = t.mha + t.ln + t.other_mem + t.memop;
+  const double par_math = t.gemm;
+  out.compute_s = par_mem / (n * mem_eff) + par_math / (n * math_eff);
+  out.serial_s = t.serial;            // not parallelizable by DAP
+  out.optimizer_s = t.wu + t.swa + t.clip;  // weights replicated per rank
+  // CPU overhead: launches per rank are unchanged by DAP. How much of it
+  // CUDA Graph can remove depends on how exposed the launch path is: at
+  // DAP-1 it hides behind long kernels (capture buys ~nothing, §4.1); at
+  // DAP-8 it is fully exposed and capture removes nearly all of it.
+  double graph_eff = 0.0;
+  if (tg.cuda_graph) {
+    const int idx = n >= 8 ? 3 : n >= 4 ? 2 : n >= 2 ? 1 : 0;
+    graph_eff = calib::kGraphEffectiveness[idx];
+  }
+  out.cpu_overhead_s = t.cpu * (1.0 - graph_eff);
+
+  // ---- Collectives ----
+  double dap_bytes = calib::kDapCommBytesPerStep;
+  if (tg.bf16) dap_bytes *= 0.5;  // "can be reduced by low precision"
+  out.dap_comm_s =
+      n > 1 ? allgather_time_s(cfg.arch, dap_bytes, n) +
+                  calib::kDapSyncPointsPerStep * cfg.arch.net_latency_us * 1e-6
+            : 0.0;
+  // Per-sync launch jitter inside the DAP group: each of the ~216 block
+  // rendezvous waits for the slowest of n ranks' host-side jitter. This is
+  // the dominant eager-mode DAP cost that CUDA Graph removes (§4.1:
+  // without CUDA Graph, DAP-8 is slower than DAP-4).
+  double sync_jitter = 0.0;
+  if (n > 1) {
+    const double jitter_mean = tg.cuda_graph ? calib::kPerSyncJitterGraphSec
+                                             : calib::kPerSyncJitterEagerSec;
+    sync_jitter =
+        calib::kDapSyncPointsPerStep * jitter_mean * harmonic(n);
+  }
+  out.dap_comm_s += sync_jitter;
+  const int dp = cfg.num_gpus / n;
+  double grad_bytes = 93e6 * 4.0;  // 97M params, fp32 gradients
+  if (tg.bf16) grad_bytes *= 0.5;
+  // The all-reduce overlaps the backward pass; only ~30% is exposed.
+  out.grad_comm_s = 0.3 * allreduce_time_s(cfg.arch, grad_bytes, dp);
+
+  // ---- Sampled noise: CPU peaks, GC pauses, data-pipeline waits ----
+  const double nominal =
+      out.compute_s + out.serial_s + out.optimizer_s + out.cpu_overhead_s +
+      out.dap_comm_s + out.grad_comm_s;
+  Rng rng(cfg.seed);
+  double sum_max_noise = 0.0, sum_mean_noise = 0.0;
+  const int groups = dp;  // one loader per DAP group
+  // Event probabilities scale with step duration (rate processes).
+  const double p_peak =
+      std::min(0.5, calib::kCpuPeakRatePerSec * std::max(nominal, 1e-3));
+  const double p_gc =
+      std::min(0.5, calib::kGcPauseRatePerSec * std::max(nominal, 1e-3));
+  auto sample_prep = [&rng] {
+    double prep = calib::kPrepLogMedianSec *
+                  std::exp(calib::kPrepLogSigma * rng.normal());
+    return std::min(prep, calib::kPrepMaxSec);
+  };
+  for (int s = 0; s < cfg.sim_steps; ++s) {
+    double max_noise = 0.0, mean_noise = 0.0;
+    for (int r = 0; r < cfg.num_gpus; ++r) {
+      double noise = 0.0;
+      if (!tg.cuda_graph) {
+        // Background-process peaks stall the launch path.
+        if (rng.bernoulli(p_peak)) {
+          noise += rng.exponential(1.0 / calib::kCpuPeakMeanSec);
+        }
+        if (!tg.disable_gc && rng.bernoulli(p_gc)) {
+          noise += rng.exponential(1.0 / calib::kGcPauseMeanSec);
+        }
+      } else {
+        // Graphed steps are largely immune to launch-path stalls; the
+        // residual python/data path still takes GC pauses.
+        if (rng.bernoulli(p_peak * (1.0 - graph_eff))) {
+          noise += rng.exponential(1.0 / calib::kCpuPeakMeanSec);
+        }
+        if (!tg.disable_gc && rng.bernoulli(p_gc * 0.5)) {
+          noise += rng.exponential(1.0 / calib::kGcPauseMeanSec);
+        }
+      }
+      max_noise = std::max(max_noise, noise);
+      mean_noise += noise;
+    }
+    // Data-pipeline wait, one loader per DAP group.
+    double max_wait = 0.0, mean_wait = 0.0;
+    const double slack =
+        calib::kLoaderPrefetchDepth * std::max(nominal, 1e-3);
+    for (int g = 0; g < groups; ++g) {
+      double wait;
+      if (tg.nonblocking_loader) {
+        // Ready-first: a slow batch is simply reordered, so a single
+        // straggler cannot starve the consumer — steady-state supply is
+        // governed by the median worker. Starvation needs most of the
+        // pool to be slow simultaneously.
+        double window[calib::kLoaderWorkersPerRank];
+        for (double& w : window) w = sample_prep();
+        std::sort(window, window + calib::kLoaderWorkersPerRank);
+        double median_prep = window[calib::kLoaderWorkersPerRank / 2];
+        double per_step_supply = median_prep / calib::kLoaderWorkersPerRank;
+        // The prefetch buffer absorbs transient supply dips; only a
+        // sustained deficit beyond roughly a buffered step's worth of
+        // batches reaches the consumer.
+        wait = std::max(0.0, per_step_supply - 2.0 * std::max(nominal, 1e-3));
+      } else {
+        // In-order: the next batch itself gates the consumer; its slack is
+        // the prefetch window.
+        wait = std::max(0.0, sample_prep() - slack);
+      }
+      max_wait = std::max(max_wait, wait);
+      mean_wait += wait;
+    }
+    sum_max_noise += max_noise + max_wait;
+    sum_mean_noise += mean_noise / cfg.num_gpus + mean_wait / groups;
+  }
+  const double e_max = sum_max_noise / cfg.sim_steps;
+  const double e_mean = sum_mean_noise / cfg.sim_steps;
+  out.data_wait_s = e_mean;          // average direct stall per rank
+  out.imbalance_s = e_max - e_mean;  // extra wait induced at the barrier
+
+  out.mean_step_s = nominal + e_max;
+  // Ideal: perfect DAP scaling of all compute, zero overheads/stalls.
+  out.ideal_s = (par_mem + par_math) / n;
+  return out;
+}
+
+BarrierBreakdown barrier_breakdown(const ClusterConfig& cfg) {
+  StepStats s = simulate_step_time(cfg);
+  const int n = cfg.dap;
+  // Kernel-scalability loss: actual parallel compute vs perfect 1/n split.
+  const double scal_loss = s.compute_s - s.ideal_s;
+  BarrierBreakdown b;
+  const double opt = s.ideal_s + s.optimizer_s;  // optimal per-step floor
+  b.cpu_overhead = s.cpu_overhead_s / opt;
+  b.serial_modules = s.serial_s / opt;
+  b.imbalanced_comm = (s.imbalance_s + s.data_wait_s) / opt;
+  b.kernel_scalability = scal_loss / opt;
+  b.comm_overhead = (s.dap_comm_s + s.grad_comm_s) / opt;
+  b.total_gap = (s.mean_step_s - opt) / opt;
+  (void)n;
+  return b;
+}
+
+}  // namespace sf::sim

@@ -1,0 +1,88 @@
+// Cluster step-time simulator.
+//
+// Composes the mechanisms identified in §3.1 into a per-step time for an
+// (arch, #GPUs, DAP-n, toggles) configuration:
+//   - per-category kernel time from the reference StepProfile, scaled by
+//     the roofline arch ratios and modified by each optimization toggle;
+//   - DAP division of parallelizable work with size-dependent kernel
+//     efficiency loss (cost_model);
+//   - DAP all-gather/all-to-all and DP gradient all-reduce collectives;
+//   - host-side noise (background CPU peaks, Python GC pauses) sampled per
+//     rank per step; the global synchronization takes the max over ranks
+//     (straggler effect). CUDA-Graph replay is immune to launch-path noise;
+//   - data-pipeline waits sampled from the Fig. 4 preparation-time
+//     distribution under the in-order or ready-first yield policy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/gpu_arch.h"
+#include "sim/workload.h"
+
+namespace sf::sim {
+
+/// The eight ScaleFold optimizations (§5) as independent switches.
+struct Toggles {
+  bool batched_gemm = false;
+  bool nonblocking_loader = false;
+  bool bf16 = false;
+  bool triton_mha = false;
+  bool triton_ln = false;
+  bool fused_adam_swa = false;  ///< includes grad-clip overlap
+  bool cuda_graph = false;
+  bool disable_grad_ckpt = false;  ///< only effective with DAP >= 2 (memory)
+  bool disable_gc = false;
+  bool torch_compile = false;
+
+  static Toggles none() { return {}; }
+  static Toggles all_on() {
+    Toggles t;
+    t.batched_gemm = t.nonblocking_loader = t.bf16 = t.triton_mha =
+        t.triton_ln = t.fused_adam_swa = t.cuda_graph = t.disable_grad_ckpt =
+            t.disable_gc = t.torch_compile = true;
+    return t;
+  }
+};
+
+struct ClusterConfig {
+  GpuArch arch = GpuArch::h100();
+  int num_gpus = 128;
+  int dap = 1;  ///< ranks cooperating per sample (1 = pure DP)
+  Toggles toggles;
+  uint64_t seed = 2024;
+  int sim_steps = 300;  ///< steps sampled for noise statistics
+};
+
+/// Per-step time decomposition (seconds). mean_step_s is the average over
+/// simulated steps of: compute + cpu_overhead + serial + comm + stalls.
+struct StepStats {
+  double mean_step_s = 0;
+  double compute_s = 0;       ///< DAP-parallelizable kernel time (per rank)
+  double serial_s = 0;        ///< structure module + other serial work
+  double optimizer_s = 0;     ///< weight update / SWA / clip
+  double cpu_overhead_s = 0;  ///< kernel-launch host time
+  double dap_comm_s = 0;      ///< DAP all-gather/all-to-all volume cost
+  double grad_comm_s = 0;     ///< DP gradient all-reduce (exposed part)
+  double imbalance_s = 0;     ///< straggler-induced extra wait (E[max]-E)
+  double data_wait_s = 0;     ///< loader stalls at the consumer
+
+  /// Ideal time if every barrier §3.1 lists were eliminated.
+  double ideal_s = 0;
+};
+
+StepStats simulate_step_time(const ClusterConfig& cfg);
+
+/// Fig. 3 reproduction: the gap between actual and theoretically optimal
+/// step time, attributed per factor, as fractions of the optimal time.
+struct BarrierBreakdown {
+  double cpu_overhead = 0;
+  double serial_modules = 0;
+  double imbalanced_comm = 0;
+  double kernel_scalability = 0;
+  double comm_overhead = 0;
+  double total_gap = 0;  ///< (actual - optimal) / optimal
+};
+BarrierBreakdown barrier_breakdown(const ClusterConfig& cfg);
+
+}  // namespace sf::sim

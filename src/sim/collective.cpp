@@ -1,0 +1,36 @@
+#include "sim/collective.h"
+
+#include "common/error.h"
+
+namespace sf::sim {
+
+double group_bandwidth_gbs(const GpuArch& arch, int n) {
+  SF_CHECK(n >= 1);
+  return n <= kGpusPerNode ? arch.nvlink_bw_gbs : arch.ib_bw_gbs;
+}
+
+double allreduce_time_s(const GpuArch& arch, double bytes, int n) {
+  SF_CHECK(n >= 1);
+  if (n == 1) return 0.0;
+  const double bw = group_bandwidth_gbs(arch, n) * 1e9;
+  // Ring all-reduce: 2(n-1)/n of the buffer crosses each link, 2(n-1)
+  // latency hops.
+  return 2.0 * (n - 1) / n * bytes / bw +
+         2.0 * (n - 1) * arch.net_latency_us * 1e-6;
+}
+
+double allgather_time_s(const GpuArch& arch, double bytes, int n) {
+  SF_CHECK(n >= 1);
+  if (n == 1) return 0.0;
+  const double bw = group_bandwidth_gbs(arch, n) * 1e9;
+  return (n - 1.0) / n * bytes / bw + (n - 1) * arch.net_latency_us * 1e-6;
+}
+
+double alltoall_time_s(const GpuArch& arch, double bytes, int n) {
+  SF_CHECK(n >= 1);
+  if (n == 1) return 0.0;
+  const double bw = group_bandwidth_gbs(arch, n) * 1e9;
+  return (n - 1.0) / n * bytes / bw + (n - 1) * arch.net_latency_us * 1e-6;
+}
+
+}  // namespace sf::sim

@@ -1,0 +1,32 @@
+// Collective-communication cost model (ring algorithms).
+//
+// DAP inserts all-gather and all-to-all collectives inside every Evoformer
+// block (§2.3); data parallelism adds the gradient all-reduce. Costs use
+// the standard alpha-beta ring model: latency per hop plus volume over the
+// bottleneck link, with NVLink inside a node (8 GPUs) and InfiniBand
+// across nodes.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/gpu_arch.h"
+
+namespace sf::sim {
+
+inline constexpr int kGpusPerNode = 8;
+
+/// Effective per-GPU link bandwidth for a group of `n` ranks: NVLink when
+/// the group fits in one node, IB otherwise.
+double group_bandwidth_gbs(const GpuArch& arch, int n);
+
+/// Ring all-reduce of `bytes` per rank across `n` ranks.
+double allreduce_time_s(const GpuArch& arch, double bytes, int n);
+
+/// Ring all-gather where each rank contributes `bytes / n` (result bytes
+/// total per rank).
+double allgather_time_s(const GpuArch& arch, double bytes, int n);
+
+/// All-to-all exchanging `bytes` per rank across `n` ranks.
+double alltoall_time_s(const GpuArch& arch, double bytes, int n);
+
+}  // namespace sf::sim

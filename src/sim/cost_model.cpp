@@ -1,0 +1,62 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "sim/calibration.h"
+
+namespace sf::sim {
+
+double mem_utilization(double bytes) {
+  return bytes / (bytes + calib::kUtilHalfBytesMem);
+}
+
+double math_utilization(double flops) {
+  return flops / (flops + calib::kUtilHalfFlopsMath);
+}
+
+namespace {
+// Table lookup for power-of-two DAP degrees, analytic curve elsewhere.
+double dap_eff_from_table(int dap_n, const double table[4], double analytic) {
+  switch (dap_n) {
+    case 1: return table[0];
+    case 2: return table[1];
+    case 4: return table[2];
+    case 8: return table[3];
+    default: return analytic;
+  }
+}
+}  // namespace
+
+double dap_mem_efficiency(int dap_n, bool small_kernels) {
+  SF_CHECK(dap_n >= 1);
+  double base = mem_utilization(calib::kTypicalMemKernelBytes);
+  double scaled = mem_utilization(calib::kTypicalMemKernelBytes / dap_n);
+  const double* table =
+      small_kernels ? calib::kDapMemEffTable : calib::kDapMemEffTableLarge;
+  return dap_eff_from_table(dap_n, table, scaled / base);
+}
+
+double dap_math_efficiency(int dap_n, bool small_kernels) {
+  SF_CHECK(dap_n >= 1);
+  double base = math_utilization(calib::kTypicalMathKernelFlops);
+  double scaled = math_utilization(calib::kTypicalMathKernelFlops / dap_n);
+  const double* table =
+      small_kernels ? calib::kDapMathEffTable : calib::kDapMathEffTableLarge;
+  return dap_eff_from_table(dap_n, table, scaled / base);
+}
+
+double kernel_time_s(const GpuArch& arch, double flops, double bytes,
+                     bool graphed) {
+  double t_math =
+      flops > 0 ? flops / (arch.tf32_tflops * 1e12 * math_utilization(flops))
+                : 0.0;
+  double t_mem =
+      bytes > 0 ? bytes / (arch.mem_bw_gbs * 1e9 * mem_utilization(bytes))
+                : 0.0;
+  double t = std::max(t_math, t_mem);
+  if (!graphed) t += arch.launch_overhead_us * 1e-6;
+  return t;
+}
+
+}  // namespace sf::sim

@@ -1,0 +1,35 @@
+// Roofline kernel cost model with size-dependent utilization.
+//
+// kernel time = max(flops / (peak_flops * util), bytes / (bw * util))
+//               + launch overhead (eager only)
+//
+// Utilization follows a saturation curve: a kernel moving s bytes reaches
+// s / (s + s_half) of peak bandwidth — small kernels can't fill the
+// machine. This is the mechanism behind §3.1's "poor kernel scalability":
+// DAP-n divides each kernel's workload by n, sliding it down the curve.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/gpu_arch.h"
+
+namespace sf::sim {
+
+/// Bandwidth utilization for a memory-bound kernel of `bytes` size.
+double mem_utilization(double bytes);
+/// Throughput utilization for a math-bound kernel of `flops` size.
+double math_utilization(double flops);
+
+/// Relative efficiency of shrinking a kernel by factor `n` (DAP-n):
+/// eff(n) = util(size/n) / util(size). Multiplies the *per-unit-work* cost
+/// (so the kernel's time scales by eff-adjusted 1/n, not ideal 1/n).
+/// `small_kernels` selects the optimized-kernel regime (bf16/fused kernels
+/// shrink per-launch work, sliding further down the utilization curve).
+double dap_mem_efficiency(int dap_n, bool small_kernels = true);
+double dap_math_efficiency(int dap_n, bool small_kernels = true);
+
+/// Time for one kernel under the roofline.
+double kernel_time_s(const GpuArch& arch, double flops, double bytes,
+                     bool graphed);
+
+}  // namespace sf::sim

@@ -1,0 +1,31 @@
+#include "sim/gpu_arch.h"
+
+namespace sf::sim {
+
+GpuArch GpuArch::a100() {
+  GpuArch g;
+  g.name = "A100-SXM4-80GB";
+  g.mem_bw_gbs = 2039.0;
+  g.tf32_tflops = 156.0;
+  g.bf16_tflops = 312.0;
+  g.launch_overhead_us = 4.0;
+  g.nvlink_bw_gbs = 300.0;
+  g.ib_bw_gbs = 25.0;
+  g.net_latency_us = 8.0;
+  return g;
+}
+
+GpuArch GpuArch::h100() {
+  GpuArch g;
+  g.name = "H100-SXM5-80GB";
+  g.mem_bw_gbs = 3350.0;
+  g.tf32_tflops = 400.0;
+  g.bf16_tflops = 800.0;
+  g.launch_overhead_us = 4.0;  // host-side cost is CPU-bound, arch-agnostic
+  g.nvlink_bw_gbs = 450.0;
+  g.ib_bw_gbs = 50.0;   // Quantum-2 NDR
+  g.net_latency_us = 6.0;
+  return g;
+}
+
+}  // namespace sf::sim

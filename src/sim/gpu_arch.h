@@ -1,0 +1,27 @@
+// GPU architecture parameters for the roofline cost model.
+//
+// Public datasheet numbers; the A100->H100 memory-bandwidth ratio (~1.64x)
+// is the anchor that reproduces the paper's observed 6.76s -> 4.07s
+// (1.66x) reference-model step-time gain, consistent with §2.2's finding
+// that the workload is dominated by memory-bound kernels.
+#pragma once
+
+#include <string>
+
+namespace sf::sim {
+
+struct GpuArch {
+  std::string name;
+  double mem_bw_gbs = 0;       ///< HBM bandwidth, GB/s
+  double tf32_tflops = 0;      ///< dense TF32 throughput
+  double bf16_tflops = 0;      ///< dense BF16 throughput
+  double launch_overhead_us = 0;  ///< host cost per eager kernel launch
+  double nvlink_bw_gbs = 0;    ///< per-GPU NVLink bandwidth (intra-node)
+  double ib_bw_gbs = 0;        ///< per-GPU InfiniBand bandwidth (inter-node)
+  double net_latency_us = 0;   ///< per-hop collective latency
+
+  static GpuArch a100();
+  static GpuArch h100();
+};
+
+}  // namespace sf::sim

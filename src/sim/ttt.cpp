@@ -1,0 +1,103 @@
+#include "sim/ttt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "sim/calibration.h"
+
+namespace sf::sim {
+
+double eval_round_seconds(int gpus, double kernel_speed_factor,
+                          bool cached_eval_set) {
+  SF_CHECK(gpus >= 1);
+  const int waves = (calib::kEvalProteins + gpus - 1) / gpus;
+  double per_protein = calib::kEvalPerProteinRefSec * kernel_speed_factor;
+  if (!cached_eval_set) per_protein *= calib::kEvalDiskFactor;
+  return waves * per_protein + calib::kEvalRoundOverheadSec;
+}
+
+TttResult time_to_train(const TttConfig& cfg) {
+  TttResult r;
+  StepStats step = simulate_step_time(cfg.cluster);
+  r.step_s = step.mean_step_s;
+  r.init_s = cfg.init_seconds;
+  r.train_s = cfg.total_steps * step.mean_step_s;
+  r.eval_rounds = cfg.total_steps / cfg.eval_every_steps;
+
+  // The model evaluates with the same kernels it trains with (but at
+  // DAP-1, one protein per GPU): scale per-protein cost by the optimized
+  // vs reference DAP-1 kernel ratio.
+  ClusterConfig opt1 = cfg.cluster;
+  opt1.dap = 1;
+  opt1.num_gpus = cfg.cluster.num_gpus / cfg.cluster.dap;
+  opt1.toggles.disable_grad_ckpt = false;
+  ClusterConfig ref = opt1;
+  ref.toggles = Toggles::none();
+  const double speed_factor =
+      std::min(1.0, simulate_step_time(opt1).compute_s /
+                        std::max(1e-9, simulate_step_time(ref).compute_s));
+
+  if (cfg.async_eval) {
+    const int gpus = cfg.eval_gpus > 0 ? cfg.eval_gpus
+                                       : calib::kEvalDedicatedGpus;
+    const double per_round =
+        eval_round_seconds(gpus, speed_factor, cfg.cached_eval_set);
+    // Off the critical path; on average half a round of the converging
+    // snapshot's evaluation trails the final training step.
+    r.eval_s = std::max(0.0, per_round / 2 - cfg.eval_every_steps * r.step_s);
+  } else {
+    const double per_round = eval_round_seconds(
+        cfg.cluster.num_gpus, speed_factor, cfg.cached_eval_set);
+    r.eval_s = r.eval_rounds * per_round;
+  }
+  r.total_s = r.init_s + r.train_s + r.eval_s;
+  return r;
+}
+
+float pretraining_lddt_at_step(int64_t step) {
+  // Effective samples seen: bs128 for the first 5000 steps, bs256 after.
+  const int64_t phase1 = calib::kScratchPhase1Steps;
+  double samples = step <= phase1
+                       ? 128.0 * step
+                       : 128.0 * phase1 + 256.0 * (step - phase1);
+  // Saturating curve through the paper's anchors: ~0.8 at step 5000
+  // (0.64M samples), ~0.9 at step 55000 (13.4M samples).
+  // lddt = 0.93 * (1 - exp(-samples/tau)) with tau fit to the first
+  // anchor, plus a slow late-phase term for the 0.9 approach.
+  const double tau = 1.89e5;
+  double fast = 0.82 * (1.0 - std::exp(-samples / tau));
+  double slow = 0.11 * (1.0 - std::exp(-samples / 9.0e6));
+  return static_cast<float>(std::min(0.93, fast + slow));
+}
+
+PretrainingResult simulate_pretraining(int64_t total_steps, uint64_t seed) {
+  SF_CHECK(total_steps > calib::kScratchPhase1Steps);
+  PretrainingResult r;
+  r.total_steps = total_steps;
+
+  // Phase 1: 1056 H100 (1024 train + 32 eval), bs128, DAP-8.
+  ClusterConfig p1;
+  p1.arch = GpuArch::h100();
+  p1.num_gpus = 1024;
+  p1.dap = 8;
+  p1.toggles = Toggles::all_on();
+  p1.seed = seed;
+  double step1 = simulate_step_time(p1).mean_step_s;
+  r.phase1_s = calib::kScratchPhase1Steps * step1;
+
+  // Phase 2: 2080 H100 (2048 train + 32 eval), bs256, Triton MHA kernel
+  // disabled for convergence (§4.2).
+  ClusterConfig p2 = p1;
+  p2.num_gpus = 2048;
+  p2.toggles.triton_mha = false;
+  p2.seed = seed + 1;
+  double step2 = simulate_step_time(p2).mean_step_s;
+  r.phase2_s = (total_steps - calib::kScratchPhase1Steps) * step2;
+
+  r.total_s = calib::kInitCompileSec + r.phase1_s + r.phase2_s;
+  r.final_lddt = pretraining_lddt_at_step(total_steps);
+  return r;
+}
+
+}  // namespace sf::sim

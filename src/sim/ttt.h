@@ -1,0 +1,61 @@
+// Time-to-train model (Figs. 9, 10, 11; §4.2).
+//
+// Composes: initialization/compilation, training steps (from the cluster
+// step simulator), and evaluation rounds — synchronous (blocking the
+// training nodes) or asynchronous (offloaded to dedicated evaluation
+// GPUs, §3.4), with the evaluation set served from a DRAM cache or disk.
+// Also provides the lDDT-Ca convergence-curve model for the from-scratch
+// pretraining schedule (bs128 for 5000 steps, then bs256).
+#pragma once
+
+#include "sim/cluster.h"
+
+namespace sf::sim {
+
+struct TttConfig {
+  ClusterConfig cluster;
+  int total_steps = 400;        ///< optimization steps to target accuracy
+  int eval_every_steps = 40;
+  bool async_eval = false;      ///< offload eval to dedicated nodes
+  bool cached_eval_set = true;  ///< DRAM cache vs per-round disk reads
+  int eval_gpus = 0;            ///< 0 = sync on all training GPUs; else
+                                ///< dedicated evaluation GPUs (async)
+  double init_seconds = 120.0;  ///< startup + compile (~2 min, §4.2)
+};
+
+/// Seconds for one evaluation round: ~kEvalProteins full-length proteins in
+/// data-parallel waves over `gpus`, per-protein cost scaled by the active
+/// kernel speed factor (optimized models evaluate faster too).
+double eval_round_seconds(int gpus, double kernel_speed_factor,
+                          bool cached_eval_set);
+
+struct TttResult {
+  double init_s = 0;
+  double train_s = 0;
+  double eval_s = 0;   ///< evaluation time on the training critical path
+  double total_s = 0;
+  double step_s = 0;   ///< mean step time used
+  int eval_rounds = 0;
+};
+
+TttResult time_to_train(const TttConfig& cfg);
+
+/// lDDT-Ca convergence model for from-scratch pretraining, calibrated to
+/// §4.2: 0.8 by step 5000 (bs128), 0.9 at 50-60k steps (bs256).
+/// Saturating-exponential in "effective samples seen".
+float pretraining_lddt_at_step(int64_t step);
+
+/// Full from-scratch schedule (Fig. 11): phase 1 on 1056 GPUs bs128,
+/// phase 2 on 2080 GPUs bs256 with the Triton MHA kernel disabled
+/// (§4.2). Returns wall-clock totals and the phase boundary.
+struct PretrainingResult {
+  double phase1_s = 0;
+  double phase2_s = 0;
+  double total_s = 0;
+  int64_t total_steps = 0;
+  float final_lddt = 0;
+};
+PretrainingResult simulate_pretraining(int64_t total_steps = 55000,
+                                       uint64_t seed = 7);
+
+}  // namespace sf::sim

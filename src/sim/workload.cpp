@@ -1,0 +1,121 @@
+#include "sim/workload.h"
+
+#include "common/error.h"
+#include "sim/calibration.h"
+
+namespace sf::sim {
+
+// Logical (fused-op granularity) launch counts per module, fwd+bwd.
+// Forward math for attention: 4 projection GEMMs + bias-projection GEMM +
+// QK^T + PV batched matmuls = 7; backward roughly doubles it.
+KernelCensus census_attention() { return {21, 28, 14}; }
+// Eager LayerNorm: mean / centering / variance / normalize / affine
+// forward, seven backward passes (recompute + two reductions + dx).
+KernelCensus census_layernorm() { return {0, 12, 1}; }
+// Transition MLP: 2 GEMMs fwd + 4 bwd; GELU + bias adds.
+KernelCensus census_transition() { return {6, 7, 2}; }
+// Triangle multiplication: 6 projection GEMMs (+12 bwd), the triangle
+// einsum (1 fwd + 2 bwd), three GLU gates.
+KernelCensus census_triangle_multiply() { return {21, 18, 6}; }
+// Outer product mean: 3 projections (+6 bwd), the outer einsum (1+2).
+KernelCensus census_outer_product_mean() { return {12, 8, 4}; }
+
+KernelCensus census_evoformer_block() {
+  KernelCensus c;
+  for (int i = 0; i < 4; ++i) c += census_attention();
+  for (int i = 0; i < 12; ++i) c += census_layernorm();
+  for (int i = 0; i < 2; ++i) c += census_transition();
+  for (int i = 0; i < 2; ++i) c += census_triangle_multiply();
+  c += census_outer_product_mean();
+  return c;
+}
+
+KernelCensus census_pair_block() {
+  KernelCensus c;
+  for (int i = 0; i < 2; ++i) c += census_attention();
+  for (int i = 0; i < 8; ++i) c += census_layernorm();
+  c += census_transition();
+  for (int i = 0; i < 2; ++i) c += census_triangle_multiply();
+  return c;
+}
+
+KernelCensus census_structure_and_heads() {
+  // 8 IPA-style layers plus input/recycling embedders and aux heads.
+  return {200, 600, 250};
+}
+
+KernelCensus census_training_routines(int param_tensors) {
+  KernelCensus c;
+  const int64_t n = param_tensors;
+  // Per tensor: zero_grad (1 memop); unfused Adam (~6 memory-bound
+  // passes); SWA (2); clip scale (1); clip concat copy (1 memop);
+  // DDP bucket pack/unpack (2 memop); misc casts/clones (2 memop).
+  c.memop_calls += n * (1 + 1 + 2 + 2);
+  c.mem_calls += n * (6 + 2 + 1);
+  return c;
+}
+
+CensusBreakdown build_census(const CensusConfig& cfg) {
+  SF_CHECK(cfg.avg_recycles >= 1.0);
+  CensusBreakdown out;
+
+  KernelCensus trunk;
+  for (int i = 0; i < cfg.evoformer_blocks + cfg.extra_msa_blocks; ++i) {
+    trunk += census_evoformer_block();
+  }
+  for (int i = 0; i < cfg.template_pair_blocks; ++i) {
+    trunk += census_pair_block();
+  }
+  // Recycling: one full fwd+bwd cycle plus (avg-1) forward-only cycles.
+  const double recycle_mult =
+      1.0 + (cfg.avg_recycles - 1.0) * cfg.forward_fraction;
+  trunk = trunk * recycle_mult;
+  // Eager fragmentation fit (see CensusConfig docs).
+  out.trunk = {static_cast<int64_t>(trunk.math_calls * cfg.frag_math),
+               static_cast<int64_t>(trunk.mem_calls * cfg.frag_mem),
+               static_cast<int64_t>(trunk.memop_calls * cfg.frag_memop)};
+
+  KernelCensus serial = census_structure_and_heads() * recycle_mult;
+  out.serial = {static_cast<int64_t>(serial.math_calls * cfg.frag_math),
+                static_cast<int64_t>(serial.mem_calls * cfg.frag_mem),
+                static_cast<int64_t>(serial.memop_calls * cfg.frag_memop)};
+
+  if (cfg.unfused_optimizer) {
+    out.optimizer = census_training_routines(cfg.param_tensors);
+  }
+
+  out.total = out.trunk;
+  out.total += out.serial;
+  out.total += out.optimizer;
+
+  out.runtime_cpu_overhead = calib::kFracCpuOverhead;
+  // Table 1 runtime split of the remaining (kernel) time.
+  out.runtime_math = 0.2406;
+  out.runtime_mem = 0.6503;
+  out.runtime_memop = 0.0182;
+  return out;
+}
+
+StepProfile StepProfile::reference() {
+  StepProfile p{};
+  p.mha = calib::kFracMha;
+  p.layernorm = calib::kFracLayerNorm;
+  p.other_gemm = calib::kFracOtherGemm;
+  p.weight_update = calib::kFracWeightUpdate;
+  p.swa = calib::kFracSwa;
+  p.grad_clip = calib::kFracGradClip;
+  p.serial = calib::kFracSerial;
+  p.cpu_overhead = calib::kFracCpuOverhead;
+  p.memop = 0.018;
+  p.other_mem = 1.0 - (p.mha + p.layernorm + p.other_gemm + p.weight_update +
+                       p.swa + p.grad_clip + p.serial + p.cpu_overhead +
+                       p.memop);
+  return p;
+}
+
+double StepProfile::sum() const {
+  return mha + layernorm + other_gemm + other_mem + memop + weight_update +
+         swa + grad_clip + serial + cpu_overhead;
+}
+
+}  // namespace sf::sim

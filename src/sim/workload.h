@@ -1,0 +1,114 @@
+// AlphaFold training-step workload model: kernel census and aggregate
+// step-time profile at paper scale.
+//
+// The census reconstructs Table 1 (launch counts per kernel category) from
+// the model architecture: per-module operator templates (how many
+// math-bound / memory-bound / memory-operation kernels one eager
+// forward+backward of each Evoformer sub-module launches), the stack
+// depths of Fig. 1, the recycling multiplier, and the optimizer's
+// per-parameter-tensor kernel storm (>4000 gradient tensors, §3.3.1).
+//
+// The aggregate StepProfile carries the measured §2.2 composition
+// (MHA 34%, LN 14%, ...) that the cluster model's optimization toggles
+// operate on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sf::sim {
+
+/// Kernel-launch census per category (the axes of Table 1).
+struct KernelCensus {
+  int64_t math_calls = 0;
+  int64_t mem_calls = 0;
+  int64_t memop_calls = 0;
+
+  int64_t total() const { return math_calls + mem_calls + memop_calls; }
+
+  KernelCensus& operator+=(const KernelCensus& o) {
+    math_calls += o.math_calls;
+    mem_calls += o.mem_calls;
+    memop_calls += o.memop_calls;
+    return *this;
+  }
+  KernelCensus operator*(double f) const {
+    return {static_cast<int64_t>(math_calls * f),
+            static_cast<int64_t>(mem_calls * f),
+            static_cast<int64_t>(memop_calls * f)};
+  }
+};
+
+/// Architecture knobs that drive the census (defaults = paper scale).
+struct CensusConfig {
+  int evoformer_blocks = 48;
+  int extra_msa_blocks = 4;
+  int template_pair_blocks = 2;
+  /// Average recycling cycles per step; forward-only cycles cost the
+  /// forward fraction of the template counts.
+  double avg_recycles = 2.5;
+  double forward_fraction = 0.4;  ///< fwd share of a fwd+bwd census
+  /// Trainable parameter tensors ("over four thousand", §3.3.1).
+  int param_tensors = 4400;
+  /// Eager-mode fragmentation multipliers fit to Table 1 (views, copies,
+  /// broadcast expansions, autograd accumulation kernels that the logical
+  /// templates below do not enumerate individually).
+  double frag_math = 1.4;
+  double frag_mem = 2.1;
+  double frag_memop = 1.1;
+  /// Whether the step includes the unfused optimizer/SWA/clip kernels.
+  bool unfused_optimizer = true;
+};
+
+/// Census of one logical module (forward+backward, fused-op granularity).
+KernelCensus census_attention();          ///< gated MHA incl. projections
+KernelCensus census_layernorm();
+KernelCensus census_transition();
+KernelCensus census_triangle_multiply();
+KernelCensus census_outer_product_mean();
+
+/// Full Evoformer block (Fig. 2: 4 attention modules, 12 LayerNorms,
+/// 2 transitions, 2 triangle multiplications, 1 outer product mean).
+KernelCensus census_evoformer_block();
+/// Pair-only block (template pair stack).
+KernelCensus census_pair_block();
+/// Structure module + embedders/heads (serial part).
+KernelCensus census_structure_and_heads();
+/// Optimizer + SWA + grad clip + DDP bookkeeping per step.
+KernelCensus census_training_routines(int param_tensors);
+
+/// The full Table 1 reconstruction.
+struct CensusBreakdown {
+  KernelCensus trunk;       ///< Evoformer/extra/template stacks (x recycle)
+  KernelCensus serial;      ///< structure module, embedders, heads
+  KernelCensus optimizer;   ///< Adam/SWA/clip/DDP per-tensor kernels
+  KernelCensus total;
+  /// Runtime shares (fractions of step time) per category, from the
+  /// measured §2.2 composition.
+  double runtime_math = 0.0;
+  double runtime_mem = 0.0;
+  double runtime_memop = 0.0;
+  double runtime_cpu_overhead = 0.0;
+};
+CensusBreakdown build_census(const CensusConfig& cfg = CensusConfig{});
+
+/// Aggregate step-time composition at the reference point. All fields are
+/// fractions of the reference step time and sum (with other_mem) to 1.
+struct StepProfile {
+  double mha;
+  double layernorm;
+  double other_gemm;
+  double other_mem;
+  double memop;
+  double weight_update;
+  double swa;
+  double grad_clip;
+  double serial;        ///< data pipeline + structure module (non-DAP)
+  double cpu_overhead;
+
+  static StepProfile reference();
+  double sum() const;
+};
+
+}  // namespace sf::sim

@@ -1,0 +1,78 @@
+// Software bfloat16.
+//
+// ScaleFold (§3.4) adds full bfloat16 support to the training stack and
+// reports a 1.24x step-time speedup plus stable convergence where naive
+// fp16 NaNs out. We have no tensor cores, so bf16 here serves two roles:
+//   1. Numerics: round-to-nearest-even truncation of the fp32 mantissa,
+//      matching hardware bf16, so convergence experiments see the real
+//      precision loss.
+//   2. Memory traffic: kernels templated on storage type move half the
+//      bytes, which the CPU memory hierarchy rewards just like HBM does.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace sf {
+
+struct BFloat16 {
+  uint16_t bits = 0;
+
+  BFloat16() = default;
+
+  explicit BFloat16(float f) { bits = round_from_float(f); }
+
+  /// Round-to-nearest-even conversion from fp32 (matches CPU/GPU bf16).
+  /// std::bit_cast keeps this branch-light path auto-vectorizable.
+  static uint16_t round_from_float(float f) {
+    uint32_t x = std::bit_cast<uint32_t>(f);
+    // NaN must stay NaN: force a quiet-NaN payload bit so truncation cannot
+    // produce an infinity.
+    if ((x & 0x7fffffffu) > 0x7f800000u) {
+      return static_cast<uint16_t>((x >> 16) | 0x0040u);
+    }
+    // Round to nearest even on the 16 truncated mantissa bits.
+    uint32_t rounding_bias = 0x7fffu + ((x >> 16) & 1u);
+    return static_cast<uint16_t>((x + rounding_bias) >> 16);
+  }
+
+  float to_float() const {
+    return std::bit_cast<float>(static_cast<uint32_t>(bits) << 16);
+  }
+
+  operator float() const { return to_float(); }
+
+  BFloat16& operator=(float f) {
+    bits = round_from_float(f);
+    return *this;
+  }
+
+  friend bool operator==(BFloat16 a, BFloat16 b) { return a.bits == b.bits; }
+};
+
+/// Round an fp32 value through bf16 storage (quantization emulation used at
+/// module boundaries in bf16 training mode).
+inline float bf16_round(float f) { return BFloat16(f).to_float(); }
+
+/// Branchless round-to-nearest-even store for values known finite (the
+/// perf-kernel fast path; NaN payloads are not preserved). Auto-vectorizes.
+inline uint16_t bf16_store_fast(float f) {
+  uint32_t x = std::bit_cast<uint32_t>(f);
+  uint32_t rounding_bias = 0x7fffu + ((x >> 16) & 1u);
+  return static_cast<uint16_t>((x + rounding_bias) >> 16);
+}
+
+/// Branchless load. Auto-vectorizes.
+inline float bf16_load(uint16_t bits) {
+  return std::bit_cast<float>(static_cast<uint32_t>(bits) << 16);
+}
+
+/// In-place bf16 rounding of a buffer.
+inline void bf16_round_buffer(float* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) data[i] = bf16_round(data[i]);
+}
+
+static_assert(sizeof(BFloat16) == 2, "BFloat16 must be 2 bytes");
+
+}  // namespace sf

@@ -1,0 +1,99 @@
+#include "train/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sf::train {
+namespace {
+
+constexpr uint64_t kMagic = 0x5343414c45464f4cULL;  // "SCALEFOL"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* p, size_t n) {
+  SF_CHECK(std::fwrite(p, 1, n, f) == n) << "checkpoint write failed";
+}
+
+void read_bytes(std::FILE* f, void* p, size_t n) {
+  SF_CHECK(std::fread(p, 1, n, f) == n) << "checkpoint read failed";
+}
+
+template <typename T>
+void write_pod(std::FILE* f, const T& v) {
+  write_bytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  T v;
+  read_bytes(f, &v, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void save_tensors(const std::string& path,
+                  const std::map<std::string, Tensor>& tensors) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  SF_CHECK(f != nullptr) << "cannot open for write:" << path;
+  write_pod<uint64_t>(f.get(), kMagic);
+  write_pod<uint64_t>(f.get(), tensors.size());
+  for (const auto& [name, t] : tensors) {
+    write_pod<uint64_t>(f.get(), name.size());
+    write_bytes(f.get(), name.data(), name.size());
+    write_pod<uint64_t>(f.get(), t.shape().size());
+    for (int64_t d : t.shape()) write_pod<int64_t>(f.get(), d);
+    write_bytes(f.get(), t.data(), sizeof(float) * t.numel());
+  }
+}
+
+std::map<std::string, Tensor> load_tensors(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  SF_CHECK(f != nullptr) << "cannot open for read:" << path;
+  SF_CHECK(read_pod<uint64_t>(f.get()) == kMagic)
+      << "bad checkpoint magic in" << path;
+  uint64_t count = read_pod<uint64_t>(f.get());
+  std::map<std::string, Tensor> out;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = read_pod<uint64_t>(f.get());
+    SF_CHECK(name_len < 4096) << "implausible name length";
+    std::string name(name_len, '\0');
+    read_bytes(f.get(), name.data(), name_len);
+    uint64_t rank = read_pod<uint64_t>(f.get());
+    SF_CHECK(rank <= 8) << "implausible tensor rank";
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<int64_t>(f.get());
+    Tensor t(shape);
+    read_bytes(f.get(), t.data(), sizeof(float) * t.numel());
+    out.emplace(std::move(name), std::move(t));
+  }
+  return out;
+}
+
+void save_checkpoint(const std::string& path, const model::ParamStore& store) {
+  std::map<std::string, Tensor> tensors;
+  for (const auto& [name, v] : store.named()) tensors.emplace(name, v.value());
+  save_tensors(path, tensors);
+}
+
+void load_checkpoint(const std::string& path, model::ParamStore& store) {
+  auto tensors = load_tensors(path);
+  for (const auto& [name, v] : store.named()) {
+    auto it = tensors.find(name);
+    SF_CHECK(it != tensors.end()) << "checkpoint missing parameter" << name;
+    SF_CHECK(it->second.shape() == v.shape())
+        << "checkpoint shape mismatch for" << name;
+    const_cast<autograd::Var&>(v).mutable_value().copy_from(it->second);
+  }
+}
+
+}  // namespace sf::train

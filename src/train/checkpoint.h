@@ -1,0 +1,30 @@
+// Binary tensor checkpointing (named-tensor container format).
+//
+// Used for: from-scratch vs from-checkpoint experiments (MLPerf HPC
+// formulates OpenFold as partial training from a predefined checkpoint),
+// and the disk-backed evaluation-set mode of §3.4.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "model/params.h"
+#include "tensor/tensor.h"
+
+namespace sf::train {
+
+/// Write a named-tensor map to a binary file. Overwrites.
+void save_tensors(const std::string& path,
+                  const std::map<std::string, Tensor>& tensors);
+
+/// Read a named-tensor map back. Throws sf::Error on malformed files.
+std::map<std::string, Tensor> load_tensors(const std::string& path);
+
+/// Save all parameters of a store.
+void save_checkpoint(const std::string& path, const model::ParamStore& store);
+
+/// Load parameters into an existing store (shapes must match; every
+/// parameter in the store must be present in the file).
+void load_checkpoint(const std::string& path, model::ParamStore& store);
+
+}  // namespace sf::train

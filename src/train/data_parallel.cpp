@@ -1,0 +1,110 @@
+#include "train/data_parallel.h"
+
+#include <cmath>
+#include <thread>
+
+#include "autograd/var.h"
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace sf::train {
+
+DataParallelTrainer::DataParallelTrainer(const model::ModelConfig& cfg,
+                                         TrainConfig train_cfg,
+                                         int world_size, uint64_t model_seed)
+    : world_size_(world_size),
+      train_cfg_(train_cfg),
+      comm_(std::make_unique<dap::Communicator>(world_size)),
+      recycle_rng_(train_cfg.seed) {
+  SF_CHECK(world_size >= 1);
+  OptimizerConfig oc = train_cfg_.opt;
+  oc.adam.lr = train_cfg_.base_lr;
+  for (int r = 0; r < world_size; ++r) {
+    // Identical seed => identical initialization on every replica.
+    replicas_.push_back(
+        std::make_unique<model::MiniAlphaFold>(cfg, model_seed));
+    optimizers_.push_back(
+        std::make_unique<Optimizer>(replicas_.back()->params().all(), oc));
+  }
+}
+
+StepResult DataParallelTrainer::train_step(
+    std::span<const data::Batch> batches) {
+  SF_CHECK(static_cast<int>(batches.size()) == world_size_)
+      << "need one batch per rank";
+  Timer timer;
+  ++step_;
+  // Recycling depth sampled once per step, shared by all ranks (the
+  // paper's training recipe: one sampled depth per global step).
+  const int64_t recycles =
+      train_cfg_.min_recycles +
+      static_cast<int64_t>(recycle_rng_.uniform_int(static_cast<uint64_t>(
+          train_cfg_.max_recycles - train_cfg_.min_recycles + 1)));
+  // LR schedule identical on every rank.
+  const int64_t s = step_;
+  float lr_scale = 1.0f;
+  if (train_cfg_.warmup_steps > 0 && s < train_cfg_.warmup_steps) {
+    lr_scale = static_cast<float>(s) /
+               static_cast<float>(train_cfg_.warmup_steps);
+  }
+
+  std::vector<float> losses(world_size_, 0.0f);
+  std::vector<float> lddts(world_size_, 0.0f);
+  std::vector<float> grad_norms(world_size_, 0.0f);
+  const float inv_w = 1.0f / static_cast<float>(world_size_);
+
+  auto rank_fn = [&](int rank) {
+    auto& net = *replicas_[rank];
+    auto& opt = *optimizers_[rank];
+    opt.zero_grad();
+    auto out = net.forward(batches[rank], recycles, /*compute_loss=*/true);
+    autograd::backward(out.loss);
+    losses[rank] = out.loss.value().at(0);
+    lddts[rank] = out.lddt;
+
+    // Gradient all-reduce: average across the DP group, one bucket per
+    // parameter tensor (the DDP gradient buffers of §3.3.1).
+    for (auto& p : net.params().all()) {
+      auto node = p.node();
+      if (!node->grad.defined()) {
+        node->grad = Tensor::zeros(node->value.shape());
+      }
+      comm_->all_reduce_sum(rank, node->grad.span());
+      node->grad.scale_(inv_w);
+    }
+    opt.step(lr_scale);
+    grad_norms[rank] = opt.last_grad_norm();
+  };
+
+  if (world_size_ == 1) {
+    rank_fn(0);
+  } else {
+    std::vector<std::thread> threads;
+    for (int r = 0; r < world_size_; ++r) threads.emplace_back(rank_fn, r);
+    for (auto& t : threads) t.join();
+  }
+
+  StepResult result;
+  result.recycles = recycles;
+  for (int r = 0; r < world_size_; ++r) {
+    result.loss += losses[r] * inv_w;
+    result.lddt += lddts[r] * inv_w;
+  }
+  result.grad_norm = grad_norms[0];
+  result.seconds = timer.elapsed();
+  return result;
+}
+
+float DataParallelTrainer::replica_divergence(int rank) const {
+  SF_CHECK(rank >= 0 && rank < world_size_);
+  auto base = replicas_[0]->params().all();
+  auto other = replicas_[rank]->params().all();
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < base.size(); ++i) {
+    max_diff =
+        std::max(max_diff, base[i].value().max_abs_diff(other[i].value()));
+  }
+  return max_diff;
+}
+
+}  // namespace sf::train

@@ -1,0 +1,49 @@
+// In-process data-parallel training (the DP layer of §2.2/§2.3).
+//
+// N model replicas (identical init), one thread per rank: each computes
+// gradients on its own crop, gradients are averaged with a deterministic
+// all-reduce over the DAP communicator, and every rank applies the same
+// fused optimizer step — so replicas stay bit-identical, which the tests
+// assert. This is the parallelism whose degree AlphaFold's global-batch
+// ceiling (256) caps, motivating DAP.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dap/communicator.h"
+#include "model/alphafold.h"
+#include "train/trainer.h"
+
+namespace sf::train {
+
+class DataParallelTrainer {
+ public:
+  DataParallelTrainer(const model::ModelConfig& cfg, TrainConfig train_cfg,
+                      int world_size, uint64_t model_seed = 7);
+
+  /// One optimization step: batches.size() must equal world_size; rank r
+  /// trains on batches[r]. Returns metrics averaged over ranks.
+  StepResult train_step(std::span<const data::Batch> batches);
+
+  int world_size() const { return world_size_; }
+  model::MiniAlphaFold& replica(int rank) { return *replicas_[rank]; }
+  int64_t step_count() const { return step_; }
+  dap::Communicator::Stats comm_stats() const { return comm_->stats(); }
+
+  /// Max |param difference| between replica 0 and replica `rank`
+  /// (bit-identical lockstep => 0).
+  float replica_divergence(int rank) const;
+
+ private:
+  int world_size_;
+  TrainConfig train_cfg_;
+  std::unique_ptr<dap::Communicator> comm_;
+  std::vector<std::unique_ptr<model::MiniAlphaFold>> replicas_;
+  std::vector<std::unique_ptr<Optimizer>> optimizers_;
+  Rng recycle_rng_;
+  int64_t step_ = 0;
+};
+
+}  // namespace sf::train

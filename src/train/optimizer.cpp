@@ -1,0 +1,106 @@
+#include "train/optimizer.h"
+
+#include "common/error.h"
+
+namespace sf::train {
+
+Optimizer::Optimizer(std::vector<autograd::Var> params, OptimizerConfig config)
+    : params_(std::move(params)), config_(config) {
+  SF_CHECK(!params_.empty());
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  swa_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::zeros(p.shape()));
+    v_.push_back(Tensor::zeros(p.shape()));
+    swa_.push_back(p.value().clone());  // SWA starts at the initial weights
+  }
+}
+
+std::vector<kernels::ParamChunk> Optimizer::build_chunks() {
+  std::vector<kernels::ParamChunk> chunks;
+  chunks.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto node = params_[i].node();
+    if (!node->grad.defined()) node->grad = Tensor::zeros(node->value.shape());
+    kernels::ParamChunk c;
+    c.param = node->value.data();
+    c.grad = node->grad.data();
+    c.exp_avg = m_[i].data();
+    c.exp_avg_sq = v_[i].data();
+    c.swa = config_.use_swa ? swa_[i].data() : nullptr;
+    c.n = node->value.numel();
+    chunks.push_back(c);
+  }
+  return chunks;
+}
+
+void Optimizer::step(float lr_scale) {
+  SF_CHECK(!swa_swapped_) << "step() while SWA weights are swapped in";
+  ++step_;
+  auto chunks = build_chunks();
+
+  // Global gradient norm: bucketed (no copies) or concat (naive).
+  if (config_.bucketed_grad_norm) {
+    std::vector<const float*> buckets;
+    std::vector<int64_t> sizes;
+    buckets.reserve(chunks.size());
+    sizes.reserve(chunks.size());
+    for (const auto& c : chunks) {
+      buckets.push_back(c.grad);
+      sizes.push_back(c.n);
+    }
+    last_grad_norm_ = kernels::grad_norm_bucketed(buckets, sizes);
+  } else {
+    last_grad_norm_ = kernels::grad_norm_concat(chunks);
+  }
+  const float scale = kernels::clip_scale(last_grad_norm_, config_.clip_norm);
+
+  kernels::AdamHyper hyper = config_.adam;
+  hyper.lr *= lr_scale;
+
+  if (config_.fused) {
+    // One multi-tensor kernel: clip + Adam + SWA in a single sweep.
+    kernels::fused_adam_swa_step(chunks, hyper, step_, config_.swa_decay,
+                                 scale);
+  } else {
+    // Eager path: per-tensor clip kernels, per-tensor Adam passes,
+    // per-tensor SWA passes.
+    if (scale != 1.0f) {
+      kernels::grad_scale_per_tensor(chunks, scale);
+    }
+    for (auto& c : chunks) {
+      kernels::adam_step_unfused(c, hyper, step_);
+      if (c.swa) {
+        kernels::swa_update_unfused(c.swa, c.param, c.n, config_.swa_decay);
+      }
+    }
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+void Optimizer::swap_in_swa() {
+  SF_CHECK(config_.use_swa) << "SWA disabled";
+  SF_CHECK(!swa_swapped_);
+  saved_live_.clear();
+  saved_live_.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    saved_live_.push_back(params_[i].value().clone());
+    params_[i].mutable_value().copy_from(swa_[i]);
+  }
+  swa_swapped_ = true;
+}
+
+void Optimizer::restore_live() {
+  SF_CHECK(swa_swapped_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i].mutable_value().copy_from(saved_live_[i]);
+  }
+  saved_live_.clear();
+  swa_swapped_ = false;
+}
+
+}  // namespace sf::train

@@ -1,0 +1,75 @@
+#include "train/trainer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace sf::train {
+
+Trainer::Trainer(model::MiniAlphaFold& net, TrainConfig config)
+    : net_(net),
+      config_(config),
+      opt_([&] {
+        OptimizerConfig oc = config.opt;
+        oc.adam.lr = config.base_lr;
+        return Optimizer(net.params().all(), oc);
+      }()),
+      rng_(config.seed) {
+  SF_CHECK(config_.min_recycles >= 1);
+  SF_CHECK(config_.max_recycles >= config_.min_recycles);
+}
+
+float Trainer::current_lr_scale() const {
+  const int64_t s = opt_.step_count() + 1;
+  float scale = 1.0f;
+  if (config_.warmup_steps > 0 && s < config_.warmup_steps) {
+    scale = static_cast<float>(s) / static_cast<float>(config_.warmup_steps);
+  } else if (config_.total_steps > 0) {
+    float progress =
+        static_cast<float>(s - config_.warmup_steps) /
+        static_cast<float>(std::max<int64_t>(1, config_.total_steps -
+                                                    config_.warmup_steps));
+    progress = std::min(1.0f, std::max(0.0f, progress));
+    float cosine = 0.5f * (1.0f + std::cos(3.14159265f * progress));
+    scale = config_.final_lr_frac + (1.0f - config_.final_lr_frac) * cosine;
+  }
+  return scale;
+}
+
+StepResult Trainer::train_step(const data::Batch& batch) {
+  return train_step_accumulated({&batch, 1});
+}
+
+StepResult Trainer::train_step_accumulated(
+    std::span<const data::Batch> batches) {
+  SF_CHECK(!batches.empty());
+  Timer timer;
+  StepResult result;
+  // AlphaFold samples the recycling depth once per step.
+  result.recycles =
+      config_.min_recycles +
+      static_cast<int64_t>(rng_.uniform_int(
+          static_cast<uint64_t>(config_.max_recycles - config_.min_recycles + 1)));
+
+  opt_.zero_grad();
+  double loss_acc = 0.0, lddt_acc = 0.0;
+  const float inv_b = 1.0f / static_cast<float>(batches.size());
+  for (const auto& batch : batches) {
+    auto out = net_.forward(batch, result.recycles, /*compute_loss=*/true);
+    // Scale so accumulated grads average over the local batch.
+    autograd::Var scaled = autograd::scale(out.loss, inv_b);
+    autograd::backward(scaled);
+    loss_acc += out.loss.value().at(0);
+    lddt_acc += out.lddt;
+  }
+  opt_.step(current_lr_scale());
+
+  result.loss = static_cast<float>(loss_acc / batches.size());
+  result.lddt = static_cast<float>(lddt_acc / batches.size());
+  result.grad_norm = opt_.last_grad_norm();
+  result.seconds = timer.elapsed();
+  return result;
+}
+
+}  // namespace sf::train

@@ -1,0 +1,62 @@
+// Training loop for the mini-AlphaFold.
+//
+// Implements the AlphaFold training step semantics the paper describes:
+// recycling count sampled uniformly per step (1..max), gradient clipping,
+// Adam + SWA update, LR warmup, optional bf16 activations, and periodic
+// (sync or async) evaluation gated on avg lDDT-Ca.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/protein_sample.h"
+#include "model/alphafold.h"
+#include "train/optimizer.h"
+
+namespace sf::train {
+
+struct TrainConfig {
+  OptimizerConfig opt;
+  float base_lr = 2e-3f;
+  int64_t warmup_steps = 50;
+  /// After warmup, cosine decay to `final_lr_frac * base_lr` at
+  /// `total_steps` (<= 0 disables decay).
+  int64_t total_steps = 0;
+  float final_lr_frac = 0.1f;
+  int64_t min_recycles = 1;
+  int64_t max_recycles = 2;
+  uint64_t seed = 1234;
+};
+
+struct StepResult {
+  float loss = 0.0f;
+  float lddt = 0.0f;
+  float grad_norm = 0.0f;
+  int64_t recycles = 0;
+  double seconds = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(model::MiniAlphaFold& net, TrainConfig config);
+
+  /// One optimization step on one batch (the paper's local batch is one
+  /// crop per GPU; gradient accumulation emulates larger local batches).
+  StepResult train_step(const data::Batch& batch);
+
+  /// Accumulate gradients over `batches` then apply a single update —
+  /// a data-parallel global batch on one worker.
+  StepResult train_step_accumulated(std::span<const data::Batch> batches);
+
+  Optimizer& optimizer() { return opt_; }
+  int64_t step() const { return opt_.step_count(); }
+  float current_lr_scale() const;
+
+ private:
+  model::MiniAlphaFold& net_;
+  TrainConfig config_;
+  Optimizer opt_;
+  Rng rng_;
+};
+
+}  // namespace sf::train

@@ -1,0 +1,195 @@
+// Tests for MHA with pair bias: the flash-style fused kernel must agree
+// with the naive materialized kernel in forward and backward, across
+// shapes, tilings, bias/mask combinations (the §3.3.1 custom kernel).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/attention.h"
+
+namespace sf::kernels {
+namespace {
+
+struct MhaData {
+  AttentionDims dims;
+  std::vector<float> q, k, v, bias, mask, dout;
+};
+
+MhaData make_data(int64_t b, int64_t h, int64_t sq, int64_t sk, int64_t d,
+                  bool with_bias, bool with_mask, uint64_t seed) {
+  Rng rng(seed);
+  MhaData m;
+  m.dims = {b, h, sq, sk, d};
+  m.q.resize(b * h * sq * d);
+  m.k.resize(b * h * sk * d);
+  m.v.resize(b * h * sk * d);
+  m.dout.resize(b * h * sq * d);
+  fill_normal(rng, m.q.data(), m.q.size(), 0.0f, 1.0f);
+  fill_normal(rng, m.k.data(), m.k.size(), 0.0f, 1.0f);
+  fill_normal(rng, m.v.data(), m.v.size(), 0.0f, 1.0f);
+  fill_normal(rng, m.dout.data(), m.dout.size(), 0.0f, 1.0f);
+  if (with_bias) {
+    m.bias.resize(h * sq * sk);
+    fill_normal(rng, m.bias.data(), m.bias.size(), 0.0f, 0.5f);
+  }
+  if (with_mask) {
+    m.mask.assign(b * sk, 0.0f);
+    // Mask out the last key of every batch.
+    for (int64_t bb = 0; bb < b; ++bb) m.mask[bb * sk + sk - 1] = -1e9f;
+  }
+  return m;
+}
+
+using MhaParam = std::tuple<int, int, int, int, int, bool, bool, int>;
+// b, h, sq, sk, d, bias, mask, k_tile
+
+class MhaSweep : public ::testing::TestWithParam<MhaParam> {};
+
+TEST_P(MhaSweep, FlashForwardMatchesNaive) {
+  auto [b, h, sq, sk, d, bias, mask, tile] = GetParam();
+  MhaData m = make_data(b, h, sq, sk, d, bias, mask, 42);
+  std::vector<float> out_naive(m.q.size()), out_flash(m.q.size());
+  mha_forward_naive(m.dims, m.q.data(), m.k.data(), m.v.data(),
+                    bias ? m.bias.data() : nullptr,
+                    mask ? m.mask.data() : nullptr, out_naive.data(), nullptr);
+  mha_forward_flash(m.dims, m.q.data(), m.k.data(), m.v.data(),
+                    bias ? m.bias.data() : nullptr,
+                    mask ? m.mask.data() : nullptr, out_flash.data(), nullptr,
+                    tile);
+  for (size_t i = 0; i < out_naive.size(); ++i) {
+    EXPECT_NEAR(out_naive[i], out_flash[i], 2e-4f) << "elem " << i;
+  }
+}
+
+TEST_P(MhaSweep, FlashBackwardMatchesNaive) {
+  auto [b, h, sq, sk, d, bias, mask, tile] = GetParam();
+  MhaData m = make_data(b, h, sq, sk, d, bias, mask, 99);
+  const float* bias_p = bias ? m.bias.data() : nullptr;
+  const float* mask_p = mask ? m.mask.data() : nullptr;
+
+  std::vector<float> out_n(m.q.size()), out_f(m.q.size());
+  AttentionContext ctx_n, ctx_f;
+  mha_forward_naive(m.dims, m.q.data(), m.k.data(), m.v.data(), bias_p, mask_p,
+                    out_n.data(), &ctx_n);
+  mha_forward_flash(m.dims, m.q.data(), m.k.data(), m.v.data(), bias_p, mask_p,
+                    out_f.data(), &ctx_f, tile);
+
+  std::vector<float> dq_n(m.q.size()), dk_n(m.k.size()), dv_n(m.v.size());
+  std::vector<float> dq_f(m.q.size()), dk_f(m.k.size()), dv_f(m.v.size());
+  std::vector<float> dbias_n(bias ? m.bias.size() : 0);
+  std::vector<float> dbias_f(bias ? m.bias.size() : 0);
+  mha_backward_naive(m.dims, m.q.data(), m.k.data(), m.v.data(), m.dout.data(),
+                     ctx_n, dq_n.data(), dk_n.data(), dv_n.data(),
+                     bias ? dbias_n.data() : nullptr);
+  mha_backward_flash(m.dims, m.q.data(), m.k.data(), m.v.data(), bias_p,
+                     mask_p, out_f.data(), m.dout.data(), ctx_f, dq_f.data(),
+                     dk_f.data(), dv_f.data(), bias ? dbias_f.data() : nullptr,
+                     tile);
+  for (size_t i = 0; i < dq_n.size(); ++i) {
+    EXPECT_NEAR(dq_n[i], dq_f[i], 5e-4f) << "dq " << i;
+  }
+  for (size_t i = 0; i < dk_n.size(); ++i) {
+    EXPECT_NEAR(dk_n[i], dk_f[i], 5e-4f) << "dk " << i;
+    EXPECT_NEAR(dv_n[i], dv_f[i], 5e-4f) << "dv " << i;
+  }
+  for (size_t i = 0; i < dbias_n.size(); ++i) {
+    EXPECT_NEAR(dbias_n[i], dbias_f[i], 5e-4f) << "dbias " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MhaSweep,
+    ::testing::Values(MhaParam{1, 1, 2, 2, 4, false, false, 64},
+                      MhaParam{1, 2, 5, 7, 8, true, false, 3},
+                      MhaParam{2, 2, 8, 8, 4, true, true, 4},
+                      MhaParam{3, 1, 6, 9, 5, false, true, 2},
+                      MhaParam{2, 4, 16, 16, 8, true, false, 8},
+                      MhaParam{1, 2, 17, 33, 8, true, true, 16},
+                      MhaParam{4, 2, 12, 12, 16, true, true, 5},
+                      MhaParam{1, 1, 1, 1, 1, true, false, 64},
+                      MhaParam{2, 3, 9, 4, 6, false, false, 64}));
+
+TEST(Mha, UniformValuesAveraged) {
+  // With q = 0, attention weights are uniform (plus bias 0): out = mean(v).
+  AttentionDims d{1, 1, 1, 4, 2};
+  std::vector<float> q(2, 0.0f), k(8, 0.0f), v{1, 10, 2, 20, 3, 30, 4, 40};
+  std::vector<float> out(2);
+  mha_forward_flash(d, q.data(), k.data(), v.data(), nullptr, nullptr,
+                    out.data(), nullptr);
+  EXPECT_NEAR(out[0], 2.5f, 1e-5f);
+  EXPECT_NEAR(out[1], 25.0f, 1e-5f);
+}
+
+TEST(Mha, MaskRemovesKey) {
+  AttentionDims d{1, 1, 1, 3, 1};
+  std::vector<float> q{1.0f}, k{0, 0, 0}, v{5, 7, 1000};
+  std::vector<float> mask{0, 0, -1e9f};
+  std::vector<float> out(1);
+  mha_forward_flash(d, q.data(), k.data(), v.data(), nullptr, mask.data(),
+                    out.data(), nullptr);
+  EXPECT_NEAR(out[0], 6.0f, 1e-3f);  // mean of 5 and 7 only
+}
+
+TEST(Mha, PairBiasShiftsAttention) {
+  AttentionDims d{1, 1, 1, 2, 1};
+  std::vector<float> q{0.0f}, k{0, 0}, v{1.0f, 3.0f};
+  std::vector<float> bias{10.0f, 0.0f};  // strongly prefer key 0
+  std::vector<float> out(1);
+  mha_forward_flash(d, q.data(), k.data(), v.data(), bias.data(), nullptr,
+                    out.data(), nullptr);
+  EXPECT_NEAR(out[0], 1.0f, 1e-3f);
+}
+
+TEST(Mha, BiasBroadcastAcrossBatch) {
+  // Same bias applied to every batch element: outputs of two identical
+  // batches must match.
+  AttentionDims d{2, 1, 2, 2, 2};
+  Rng rng(3);
+  std::vector<float> q1(4), k1(4), v1(4), bias(4);
+  fill_normal(rng, q1.data(), 4, 0.0f, 1.0f);
+  fill_normal(rng, k1.data(), 4, 0.0f, 1.0f);
+  fill_normal(rng, v1.data(), 4, 0.0f, 1.0f);
+  fill_normal(rng, bias.data(), 4, 0.0f, 1.0f);
+  std::vector<float> q(8), k(8), v(8);
+  std::copy(q1.begin(), q1.end(), q.begin());
+  std::copy(q1.begin(), q1.end(), q.begin() + 4);
+  std::copy(k1.begin(), k1.end(), k.begin());
+  std::copy(k1.begin(), k1.end(), k.begin() + 4);
+  std::copy(v1.begin(), v1.end(), v.begin());
+  std::copy(v1.begin(), v1.end(), v.begin() + 4);
+  std::vector<float> out(8);
+  mha_forward_flash(d, q.data(), k.data(), v.data(), bias.data(), nullptr,
+                    out.data(), nullptr);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(out[i], out[4 + i], 1e-6f);
+}
+
+TEST(Mha, TileSizeDoesNotChangeResult) {
+  MhaData m = make_data(2, 2, 9, 11, 4, true, true, 7);
+  std::vector<float> ref(m.q.size());
+  mha_forward_flash(m.dims, m.q.data(), m.k.data(), m.v.data(), m.bias.data(),
+                    m.mask.data(), ref.data(), nullptr, 11);
+  for (int tile : {1, 2, 3, 5, 64}) {
+    std::vector<float> out(m.q.size());
+    mha_forward_flash(m.dims, m.q.data(), m.k.data(), m.v.data(),
+                      m.bias.data(), m.mask.data(), out.data(), nullptr, tile);
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(ref[i], out[i], 1e-4f) << "tile " << tile;
+    }
+  }
+}
+
+TEST(Mha, LseSavedByFlashForward) {
+  MhaData m = make_data(1, 1, 3, 4, 2, false, false, 1);
+  AttentionContext ctx;
+  std::vector<float> out(m.q.size());
+  mha_forward_flash(m.dims, m.q.data(), m.k.data(), m.v.data(), nullptr,
+                    nullptr, out.data(), &ctx, 2);
+  ASSERT_EQ(ctx.lse.size(), 3u);
+  for (float v : ctx.lse) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace sf::kernels

@@ -1,0 +1,218 @@
+// Tests for the common substrate: RNG, timers, thread pool, error macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace sf {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0, sumsq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalIsLongTailed) {
+  Rng rng(13);
+  double median_est = 0;
+  double max_v = 0;
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) {
+    double x = rng.lognormal(0.0, 1.2);
+    v.push_back(x);
+    max_v = std::max(max_v, x);
+  }
+  std::sort(v.begin(), v.end());
+  median_est = v[v.size() / 2];
+  EXPECT_NEAR(median_est, 1.0, 0.1);
+  // Heavy right tail: max should exceed the median by >1.5 decades.
+  EXPECT_GT(max_v / median_est, 30.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // Child diverges from a sibling split and from the parent continuation.
+  Rng child2 = parent.split();
+  EXPECT_NE(child.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto orig = v;
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  EXPECT_NE(v, orig);  // overwhelmingly likely
+}
+
+TEST(FillHelpers, FillNormalAndUniform) {
+  Rng rng(31);
+  std::vector<float> buf(1000);
+  fill_uniform(rng, buf.data(), buf.size(), 2.0f, 3.0f);
+  for (float f : buf) {
+    EXPECT_GE(f, 2.0f);
+    EXPECT_LT(f, 3.0f);
+  }
+  fill_normal(rng, buf.data(), buf.size(), 10.0f, 0.1f);
+  double mean = 0;
+  for (float f : buf) mean += f;
+  EXPECT_NEAR(mean / buf.size(), 10.0, 0.05);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double e = t.elapsed();
+  EXPECT_GE(e, 0.015);
+  EXPECT_LT(e, 1.0);
+  t.reset();
+  EXPECT_LT(t.elapsed(), 0.015);
+}
+
+TEST(ScopedAccumulator, AddsOnScopeExit) {
+  double sink = 0.0;
+  {
+    ScopedAccumulator acc(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(sink, 0.005);
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> running{0};
+  std::atomic<int> max_running{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      int cur = running.fetch_add(1) + 1;
+      int prev = max_running.load();
+      while (prev < cur && !max_running.compare_exchange_weak(prev, cur)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+      running.fetch_sub(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_GE(max_running.load(), 2);
+}
+
+TEST(ThreadPool, StressManySmallTasks) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  for (int i = 0; i < 5000; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5000LL * 4999 / 2);
+}
+
+TEST(Error, SfCheckThrowsWithContext) {
+  try {
+    SF_CHECK(1 == 2) << "custom" << 42;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("custom"), std::string::npos);
+    EXPECT_NE(msg.find("42"), std::string::npos);
+  }
+}
+
+TEST(Error, SfCheckPassesSilently) {
+  SF_CHECK(2 + 2 == 4) << "should not throw";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sf

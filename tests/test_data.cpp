@@ -1,0 +1,271 @@
+// Tests for the synthetic protein dataset and featurization (the
+// OpenFold-data substitute reproducing Fig. 4's preparation-time spread).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/protein_sample.h"
+
+namespace sf::data {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig c;
+  c.num_samples = 50;
+  c.crop_len = 24;
+  c.msa_rows = 4;
+  c.msa_work_cap = 300;
+  c.seed = 123;
+  return c;
+}
+
+TEST(Dataset, MetadataDeterministicAcrossInstances) {
+  SyntheticProteinDataset a(small_config());
+  SyntheticProteinDataset b(small_config());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.meta(i).seq_len, b.meta(i).seq_len);
+    EXPECT_EQ(a.meta(i).msa_depth, b.meta(i).msa_depth);
+  }
+}
+
+TEST(Dataset, MetaRespectsBounds) {
+  auto cfg = small_config();
+  cfg.num_samples = 500;
+  SyntheticProteinDataset ds(cfg);
+  for (const auto& m : ds.all_meta()) {
+    EXPECT_GE(m.seq_len, cfg.min_seq_len);
+    EXPECT_LE(m.seq_len, cfg.max_seq_len);
+    EXPECT_GE(m.msa_depth, cfg.min_msa_depth);
+    EXPECT_LE(m.msa_depth, cfg.max_msa_depth);
+  }
+}
+
+TEST(Dataset, LengthDistributionIsLongTailed) {
+  auto cfg = small_config();
+  cfg.num_samples = 2000;
+  SyntheticProteinDataset ds(cfg);
+  std::vector<int64_t> lens;
+  for (const auto& m : ds.all_meta()) lens.push_back(m.seq_len);
+  std::sort(lens.begin(), lens.end());
+  int64_t median = lens[lens.size() / 2];
+  int64_t p99 = lens[lens.size() * 99 / 100];
+  EXPECT_GT(median, 100);
+  EXPECT_LT(median, 400);
+  EXPECT_GT(p99, 3 * median);  // heavy tail
+}
+
+TEST(Dataset, SequenceDeterministicAndInAlphabet) {
+  SyntheticProteinDataset ds(small_config());
+  auto s1 = ds.sequence(3);
+  auto s2 = ds.sequence(3);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(static_cast<int64_t>(s1.size()), ds.meta(3).seq_len);
+  for (int8_t aa : s1) {
+    EXPECT_GE(aa, 0);
+    EXPECT_LT(aa, kNumAminoAcids);
+  }
+}
+
+TEST(Dataset, BatchShapesMatchConfig) {
+  auto cfg = small_config();
+  SyntheticProteinDataset ds(cfg);
+  Batch b = ds.prepare_batch(0);
+  EXPECT_EQ(b.index, 0);
+  EXPECT_EQ(b.seq_onehot.shape(), Shape({cfg.crop_len, kNumAminoAcids}));
+  EXPECT_EQ(b.msa_feat.shape(),
+            Shape({cfg.msa_rows, cfg.crop_len, kMsaFeatDim}));
+  EXPECT_EQ(b.target_pos.shape(), Shape({cfg.crop_len, 3}));
+  EXPECT_EQ(b.residue_mask.shape(), Shape({cfg.crop_len}));
+  EXPECT_GT(b.prep_seconds, 0.0);
+}
+
+TEST(Dataset, BatchDeterministicPerIndex) {
+  SyntheticProteinDataset ds(small_config());
+  Batch a = ds.prepare_batch(7);
+  Batch b = ds.prepare_batch(7);
+  EXPECT_EQ(a.msa_feat.max_abs_diff(b.msa_feat), 0.0f);
+  EXPECT_EQ(a.target_pos.max_abs_diff(b.target_pos), 0.0f);
+}
+
+TEST(Dataset, OneHotRowsSumToOneWhereValid) {
+  SyntheticProteinDataset ds(small_config());
+  Batch b = ds.prepare_batch(1);
+  for (int64_t i = 0; i < b.residue_mask.numel(); ++i) {
+    float sum = 0;
+    for (int64_t a = 0; a < kNumAminoAcids; ++a) {
+      sum += b.seq_onehot.at(i * kNumAminoAcids + a);
+    }
+    if (b.residue_mask.at(i) > 0.5f) {
+      EXPECT_EQ(sum, 1.0f);
+    } else {
+      EXPECT_EQ(sum, 0.0f);
+    }
+  }
+}
+
+TEST(Dataset, ShortSequencePadsAndMasks) {
+  auto cfg = small_config();
+  cfg.crop_len = 64;
+  cfg.min_seq_len = 16;
+  cfg.max_seq_len = 20;  // force sequences shorter than the crop
+  cfg.len_log_mean = 2.0;
+  SyntheticProteinDataset ds(cfg);
+  Batch b = ds.prepare_batch(0);
+  int64_t valid = 0;
+  for (int64_t i = 0; i < 64; ++i) valid += b.residue_mask.at(i) > 0.5f;
+  EXPECT_EQ(valid, ds.meta(0).seq_len);
+  // Padding region must be all zeros.
+  for (int64_t i = valid; i < 64; ++i) {
+    for (int64_t k = 0; k < 3; ++k) EXPECT_EQ(b.target_pos.at(i * 3 + k), 0.0f);
+  }
+}
+
+TEST(Dataset, TargetCropIsCentered) {
+  SyntheticProteinDataset ds(small_config());
+  Batch b = ds.prepare_batch(2);
+  double cx = 0, cy = 0, cz = 0;
+  int64_t n = 0;
+  for (int64_t i = 0; i < b.residue_mask.numel(); ++i) {
+    if (b.residue_mask.at(i) < 0.5f) continue;
+    cx += b.target_pos.at(i * 3);
+    cy += b.target_pos.at(i * 3 + 1);
+    cz += b.target_pos.at(i * 3 + 2);
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_NEAR(cx / n, 0.0, 1e-3);
+  EXPECT_NEAR(cy / n, 0.0, 1e-3);
+  EXPECT_NEAR(cz / n, 0.0, 1e-3);
+}
+
+TEST(FoldBackbone, VirtualBondLengthsConstant) {
+  SyntheticProteinDataset ds(small_config());
+  auto seq = ds.sequence(0);
+  auto pos = SyntheticProteinDataset::fold_backbone(seq);
+  for (size_t i = 1; i < seq.size(); ++i) {
+    double dx = pos[i * 3] - pos[(i - 1) * 3];
+    double dy = pos[i * 3 + 1] - pos[(i - 1) * 3 + 1];
+    double dz = pos[i * 3 + 2] - pos[(i - 1) * 3 + 2];
+    EXPECT_NEAR(std::sqrt(dx * dx + dy * dy + dz * dz), 3.8, 1e-3);
+  }
+}
+
+TEST(FoldBackbone, StructureDependsOnSequence) {
+  std::vector<int8_t> seq_a(30, 3), seq_b(30, 3);
+  seq_b[10] = 15;  // single mutation
+  auto pa = SyntheticProteinDataset::fold_backbone(seq_a);
+  auto pb = SyntheticProteinDataset::fold_backbone(seq_b);
+  // Identical before the mutation...
+  for (int i = 0; i < 10 * 3; ++i) EXPECT_EQ(pa[i], pb[i]);
+  // ...diverging after it.
+  double diff = 0;
+  for (size_t i = 12 * 3; i < pa.size(); ++i) diff += std::fabs(pa[i] - pb[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(FoldBackbone, CompactNotColinear) {
+  // The fold must curl (turn angles), not extend in a straight line.
+  std::vector<int8_t> seq(50, 7);
+  auto pos = SyntheticProteinDataset::fold_backbone(seq);
+  double end_dist = 0;
+  for (int k = 0; k < 3; ++k) {
+    double d = pos[49 * 3 + k] - pos[k];
+    end_dist += d * d;
+  }
+  end_dist = std::sqrt(end_dist);
+  EXPECT_LT(end_dist, 49 * 3.8 * 0.9);  // shorter than a straight chain
+}
+
+TEST(Dataset, PrepTimeGrowsWithWork) {
+  // Preparation cost must scale with seq_len x msa_depth — the mechanism
+  // behind Fig. 4. Compare the biggest and smallest samples of a batch.
+  auto cfg = small_config();
+  cfg.num_samples = 300;
+  SyntheticProteinDataset ds(cfg);
+  int64_t big = 0, small = 0;
+  auto work = [&](int64_t i) {
+    const auto& m = ds.meta(i);
+    return m.seq_len * std::min(m.msa_depth, cfg.msa_work_cap);
+  };
+  for (int64_t i = 1; i < ds.size(); ++i) {
+    if (work(i) > work(big)) big = i;
+    if (work(i) < work(small)) small = i;
+  }
+  ASSERT_GT(work(big), 20 * work(small));
+  // Median of 3 to de-noise timing.
+  auto timed = [&](int64_t idx) {
+    std::vector<double> t;
+    for (int r = 0; r < 3; ++r) t.push_back(ds.prepare_batch(idx).prep_seconds);
+    std::sort(t.begin(), t.end());
+    return t[1];
+  };
+  EXPECT_GT(timed(big), timed(small) * 3);
+}
+
+TEST(Dataset, InvalidIndexThrows) {
+  SyntheticProteinDataset ds(small_config());
+  EXPECT_THROW(ds.meta(-1), Error);
+  EXPECT_THROW(ds.meta(ds.size()), Error);
+}
+
+
+TEST(Dataset, TemplateFeaturesAreValidDistograms) {
+  SyntheticProteinDataset ds(small_config());
+  Batch b = ds.prepare_batch(0);
+  const int64_t crop = ds.config().crop_len;
+  ASSERT_EQ(b.template_feat.shape(), Shape({crop, crop, kTemplateBins}));
+  int64_t valid = 0;
+  for (int64_t i = 0; i < crop; ++i) valid += b.residue_mask.at(i) > 0.5f;
+  for (int64_t i = 0; i < crop; ++i) {
+    for (int64_t j = 0; j < crop; ++j) {
+      float sum = 0;
+      for (int64_t k = 0; k < kTemplateBins; ++k) {
+        sum += b.template_feat.at((i * crop + j) * kTemplateBins + k);
+      }
+      if (i < valid && j < valid) {
+        EXPECT_EQ(sum, 1.0f) << i << "," << j;  // one-hot bin
+      } else {
+        EXPECT_EQ(sum, 0.0f);  // padding
+      }
+    }
+  }
+  // Diagonal distance is zero => first bin.
+  EXPECT_EQ(b.template_feat.at(0), 1.0f);
+}
+
+TEST(Dataset, TemplateIsRelatedButNotIdenticalToTarget) {
+  // The homolog's distogram should correlate with the target's (same
+  // backbone family) without being a copy of it.
+  auto cfg = small_config();
+  cfg.crop_len = 32;
+  SyntheticProteinDataset ds(cfg);
+  Batch b = ds.prepare_batch(1);
+  const int64_t crop = cfg.crop_len;
+  int64_t same_bin = 0, total = 0;
+  const float* t = b.target_pos.data();
+  for (int64_t i = 0; i < crop; ++i) {
+    if (b.residue_mask.at(i) < 0.5f) continue;
+    for (int64_t j = 0; j < crop; ++j) {
+      if (j == i || b.residue_mask.at(j) < 0.5f) continue;
+      float dx = t[i * 3] - t[j * 3];
+      float dy = t[i * 3 + 1] - t[j * 3 + 1];
+      float dz = t[i * 3 + 2] - t[j * 3 + 2];
+      float d = std::sqrt(dx * dx + dy * dy + dz * dz);
+      int64_t target_bin = std::min<int64_t>(
+          static_cast<int64_t>(d / kTemplateBinWidth), kTemplateBins - 1);
+      if (b.template_feat.at((i * crop + j) * kTemplateBins + target_bin) >
+          0.5f) {
+        ++same_bin;
+      }
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 0);
+  double agreement = static_cast<double>(same_bin) / total;
+  EXPECT_GT(agreement, 0.3);  // related fold
+  EXPECT_LT(agreement, 0.999);  // not a copy of the answer
+}
+
+}  // namespace
+}  // namespace sf::data

@@ -1,0 +1,174 @@
+// Tests for blocked GEMM and the batched linear-group kernels (§3.3.1
+// "GEMM Batching").
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/gemm.h"
+
+namespace sf::kernels {
+namespace {
+
+// Plain triple-loop reference.
+void ref_gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n, bool ta, bool tb, float alpha, float beta) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        float av = ta ? a[kk * m + i] : a[i * k + kk];
+        float bv = tb ? b[j * k + kk] : b[kk * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+}
+
+std::vector<float> random_vec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  fill_normal(rng, v.data(), n, 0.0f, 1.0f);
+  return v;
+}
+
+using GemmParam = std::tuple<int, int, int, bool, bool>;
+
+class GemmSweep : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmSweep, MatchesReference) {
+  auto [m, k, n, ta, tb] = GetParam();
+  auto a = random_vec(m * k, 1);
+  auto b = random_vec(k * n, 2);
+  std::vector<float> c(m * n), c_ref(m * n);
+  gemm(a.data(), b.data(), c.data(), m, k, n, ta, tb);
+  ref_gemm(a.data(), b.data(), c_ref.data(), m, k, n, ta, tb, 1.0f, 0.0f);
+  for (int64_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c[i], c_ref[i], 1e-3f) << "elem " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmParam{1, 1, 1, false, false},
+                      GemmParam{3, 5, 7, false, false},
+                      GemmParam{16, 16, 16, false, false},
+                      GemmParam{33, 65, 17, false, false},
+                      GemmParam{64, 128, 32, false, false},
+                      GemmParam{8, 4, 8, true, false},
+                      GemmParam{8, 4, 8, false, true},
+                      GemmParam{5, 9, 6, true, true},
+                      GemmParam{40, 70, 50, true, false},
+                      GemmParam{40, 70, 50, false, true}));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  auto a = random_vec(6, 3);
+  auto b = random_vec(6, 4);
+  std::vector<float> c(4, 1.0f), c_ref(4, 1.0f);
+  gemm(a.data(), b.data(), c.data(), 2, 3, 2, false, false, 2.0f, 1.0f);
+  ref_gemm(a.data(), b.data(), c_ref.data(), 2, 3, 2, false, false, 2.0f, 1.0f);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(c[i], c_ref[i], 1e-4f);
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  auto a = random_vec(4, 5);
+  auto b = random_vec(4, 6);
+  std::vector<float> c(4, std::numeric_limits<float>::quiet_NaN());
+  gemm(a.data(), b.data(), c.data(), 2, 2, 2);
+  for (float v : c) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Gemm, ZeroDimsAreNoops) {
+  std::vector<float> c(4, 7.0f);
+  gemm(nullptr, nullptr, c.data(), 2, 0, 2);  // k=0: C = 0
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Gemm, AlphaZeroScalesOnly) {
+  auto a = random_vec(4, 7);
+  auto b = random_vec(4, 8);
+  std::vector<float> c(4, 3.0f);
+  gemm(a.data(), b.data(), c.data(), 2, 2, 2, false, false, 0.0f, 1.0f);
+  for (float v : c) EXPECT_EQ(v, 3.0f);
+}
+
+class LinearGroupSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LinearGroupSweep, BatchedMatchesSeparate) {
+  auto [m, k, groups] = GetParam();
+  auto x = random_vec(m * k, 11);
+  std::vector<std::vector<float>> weights;
+  std::vector<int64_t> dims;
+  for (int g = 0; g < groups; ++g) {
+    int64_t n = 8 + 4 * g;
+    dims.push_back(n);
+    weights.push_back(random_vec(k * n, 100 + g));
+  }
+  std::vector<const float*> wptr;
+  for (auto& w : weights) wptr.push_back(w.data());
+
+  std::vector<std::vector<float>> out_sep, out_bat;
+  std::vector<float*> sep_ptr, bat_ptr;
+  for (int g = 0; g < groups; ++g) {
+    out_sep.emplace_back(m * dims[g]);
+    out_bat.emplace_back(m * dims[g]);
+  }
+  for (int g = 0; g < groups; ++g) {
+    sep_ptr.push_back(out_sep[g].data());
+    bat_ptr.push_back(out_bat[g].data());
+  }
+  linear_group_separate(x.data(), m, k, wptr, dims, sep_ptr);
+  linear_group_batched(x.data(), m, k, wptr, dims, bat_ptr);
+  for (int g = 0; g < groups; ++g) {
+    for (size_t i = 0; i < out_sep[g].size(); ++i) {
+      EXPECT_NEAR(out_sep[g][i], out_bat[g][i], 1e-3f)
+          << "group " << g << " elem " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LinearGroupSweep,
+                         ::testing::Values(std::tuple{1, 4, 1},
+                                           std::tuple{16, 32, 4},
+                                           std::tuple{33, 16, 4},
+                                           std::tuple{64, 64, 2},
+                                           std::tuple{10, 8, 6}));
+
+TEST(LinearBackward, InputGradMatchesReference) {
+  const int64_t m = 5, k = 7, n = 3;
+  auto dy = random_vec(m * n, 21);
+  auto w = random_vec(k * n, 22);
+  std::vector<float> dx(m * k), dx_ref(m * k);
+  linear_backward_input(dy.data(), w.data(), dx.data(), m, k, n);
+  // dX = dY * W^T
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      double acc = 0;
+      for (int64_t c = 0; c < n; ++c) acc += dy[i * n + c] * w[j * n + c];
+      dx_ref[i * k + j] = static_cast<float>(acc);
+    }
+  }
+  for (int64_t i = 0; i < m * k; ++i) EXPECT_NEAR(dx[i], dx_ref[i], 1e-4f);
+}
+
+TEST(LinearBackward, WeightGradMatchesReference) {
+  const int64_t m = 6, k = 4, n = 5;
+  auto x = random_vec(m * k, 23);
+  auto dy = random_vec(m * n, 24);
+  std::vector<float> dw(k * n), dw_ref(k * n);
+  linear_backward_weight(x.data(), dy.data(), dw.data(), m, k, n);
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int64_t r = 0; r < m; ++r) acc += x[r * k + i] * dy[r * n + j];
+      dw_ref[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  for (int64_t i = 0; i < k * n; ++i) EXPECT_NEAR(dw[i], dw_ref[i], 1e-4f);
+}
+
+}  // namespace
+}  // namespace sf::kernels

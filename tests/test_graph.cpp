@@ -1,0 +1,238 @@
+// Tests for the execution engine: eager dispatch, graph capture/replay
+// (CUDA Graph analogue), graph cache keyed by recycling scenario, and the
+// elementwise pattern fuser (torch.compile analogue).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/executor.h"
+#include "graph/fuser.h"
+#include "graph/ir.h"
+
+namespace sf::graph {
+namespace {
+
+Program make_elementwise_chain(const float* in, float* tmp1, float* tmp2,
+                               float* out, int64_t n) {
+  Program p;
+  p.add_elementwise("scale", in, tmp1, n, {EwKind::kMulScalar, nullptr, 2.0f});
+  p.add_elementwise("shift", tmp1, tmp2, n, {EwKind::kAddScalar, nullptr, 1.0f});
+  p.add_elementwise("gelu", tmp2, out, n, {EwKind::kGelu, nullptr, 0.0f});
+  return p;
+}
+
+TEST(Executor, RunsOpsAndCollectsStats) {
+  std::vector<float> in(64, 1.0f), t1(64), t2(64), out(64);
+  Program p = make_elementwise_chain(in.data(), t1.data(), t2.data(),
+                                     out.data(), 64);
+  int opaque_runs = 0;
+  p.add_op("noop", OpKind::kMath, 100, 200, [&opaque_runs] { ++opaque_runs; });
+
+  Executor exec;
+  exec.run_eager(p);
+  EXPECT_EQ(opaque_runs, 1);
+  EXPECT_EQ(exec.stats().total_launches, 4u);
+  EXPECT_EQ(exec.stats().by_kind.at(OpKind::kMemoryBound).calls, 3u);
+  EXPECT_EQ(exec.stats().by_kind.at(OpKind::kMath).calls, 1u);
+  EXPECT_GT(exec.stats().dispatch_seconds, 0.0);
+  // Math of the chain: gelu(1*2 + 1) = gelu(3) ~ 3.
+  EXPECT_NEAR(out[0], 3.0f, 1e-2f);
+}
+
+TEST(Executor, StatsAccumulateAcrossRuns) {
+  std::vector<float> in(8, 1.0f), out(8);
+  Program p;
+  p.add_elementwise("copy", in.data(), out.data(), 8,
+                    {EwKind::kCopy, nullptr, 0.0f});
+  Executor exec;
+  exec.run_eager(p);
+  exec.run_eager(p);
+  EXPECT_EQ(exec.stats().total_launches, 2u);
+  exec.mutable_stats().reset();
+  EXPECT_EQ(exec.stats().total_launches, 0u);
+}
+
+TEST(GraphExec, ReplayMatchesEagerResults) {
+  std::vector<float> in(32), t1(32), t2(32), out_eager(32), out_replay(32);
+  Rng rng(5);
+  fill_normal(rng, in.data(), 32, 0.0f, 1.0f);
+
+  Program p_eager = make_elementwise_chain(in.data(), t1.data(), t2.data(),
+                                           out_eager.data(), 32);
+  Executor exec;
+  exec.run_eager(p_eager);
+
+  Program p_graph = make_elementwise_chain(in.data(), t1.data(), t2.data(),
+                                           out_replay.data(), 32);
+  GraphExec g(p_graph);
+  g.replay();
+  for (int i = 0; i < 32; ++i) EXPECT_NEAR(out_eager[i], out_replay[i], 1e-6f);
+  EXPECT_EQ(g.replay_count(), 1u);
+  EXPECT_EQ(g.num_ops(), 3u);
+}
+
+TEST(GraphExec, ReplayIsRepeatableWithNewInputs) {
+  // Captured graph reads the same buffers each replay (CUDA Graph
+  // semantics): changing the input buffer contents changes the output.
+  std::vector<float> in(4, 1.0f), out(4);
+  Program p;
+  p.add_elementwise("x2", in.data(), out.data(), 4,
+                    {EwKind::kMulScalar, nullptr, 2.0f});
+  GraphExec g(p);
+  g.replay();
+  EXPECT_EQ(out[0], 2.0f);
+  in[0] = 5.0f;
+  g.replay();
+  EXPECT_EQ(out[0], 10.0f);
+  EXPECT_EQ(g.replay_count(), 2u);
+}
+
+TEST(GraphCache, CapturesOncePerKey) {
+  int builds = 0;
+  std::vector<float> in(4, 1.0f), out(4);
+  GraphCache cache;
+  auto builder = [&] {
+    ++builds;
+    Program p;
+    p.add_elementwise("x2", in.data(), out.data(), 4,
+                      {EwKind::kMulScalar, nullptr, 2.0f});
+    return p;
+  };
+  // Recycling scenarios 1..4 each get their own graph, captured once.
+  for (int round = 0; round < 3; ++round) {
+    for (int recycles = 1; recycles <= 4; ++recycles) {
+      auto& g = cache.get_or_capture("recycles=" + std::to_string(recycles),
+                                     builder);
+      g.replay();
+    }
+  }
+  EXPECT_EQ(builds, 4);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 8u);
+  EXPECT_TRUE(cache.contains("recycles=1"));
+  EXPECT_FALSE(cache.contains("recycles=5"));
+}
+
+TEST(Executor, HostLoadHookOnlyAffectsEagerDispatch) {
+  // The CUDA Graph robustness claim (§3.2): host CPU load slows eager
+  // launching but not graph replay.
+  std::vector<float> in(256, 1.0f), out(256);
+  Program p;
+  for (int i = 0; i < 50; ++i) {
+    p.add_elementwise("op" + std::to_string(i), in.data(), out.data(), 256,
+                      {EwKind::kMulScalar, nullptr, 1.0f});
+  }
+  Executor exec;
+  exec.set_host_load_hook([] {
+    // Simulated background-process CPU peak.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  });
+  Timer t_eager;
+  exec.run_eager(p);
+  double eager_s = t_eager.elapsed();
+
+  GraphExec g(p);
+  Timer t_replay;
+  g.replay();
+  double replay_s = t_replay.elapsed();
+
+  // 50 ops x 200us = 10ms of injected load on the eager path only.
+  EXPECT_GT(eager_s, replay_s * 3);
+  EXPECT_GT(exec.stats().dispatch_seconds, 0.008);
+}
+
+TEST(Fuser, FusesLinearChain) {
+  std::vector<float> in(16), t1(16), t2(16), out(16);
+  Rng rng(7);
+  fill_normal(rng, in.data(), 16, 0.0f, 1.0f);
+  Program p = make_elementwise_chain(in.data(), t1.data(), t2.data(),
+                                     out.data(), 16);
+  FuseStats stats;
+  Program fused = fuse_elementwise_chains(p, &stats);
+  EXPECT_EQ(stats.ops_before, 3u);
+  EXPECT_EQ(stats.ops_after, 1u);
+  EXPECT_EQ(stats.chains_fused, 1u);
+  EXPECT_LT(stats.bytes_after, stats.bytes_before);
+
+  // Same semantics.
+  std::vector<float> out_ref(16);
+  Program p_ref = make_elementwise_chain(in.data(), t1.data(), t2.data(),
+                                         out_ref.data(), 16);
+  Executor exec;
+  exec.run_eager(p_ref);
+  GraphExec g(fused);
+  g.replay();
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(out[i], out_ref[i], 1e-6f);
+}
+
+TEST(Fuser, DoesNotFuseAcrossSharedIntermediate) {
+  // tmp is read again later: the chain through tmp must stay unfused.
+  std::vector<float> in(8, 1.0f), tmp(8), out(8), out2(8);
+  Program p;
+  p.add_elementwise("a", in.data(), tmp.data(), 8,
+                    {EwKind::kMulScalar, nullptr, 2.0f});
+  p.add_elementwise("b", tmp.data(), out.data(), 8,
+                    {EwKind::kAddScalar, nullptr, 1.0f});
+  p.add_elementwise("c", tmp.data(), out2.data(), 8,  // second reader of tmp
+                    {EwKind::kAddScalar, nullptr, 5.0f});
+  FuseStats stats;
+  Program fused = fuse_elementwise_chains(p, &stats);
+  EXPECT_EQ(stats.ops_after, 3u);  // nothing fused
+  GraphExec g(fused);
+  g.replay();
+  EXPECT_EQ(tmp[0], 2.0f);
+  EXPECT_EQ(out[0], 3.0f);
+  EXPECT_EQ(out2[0], 7.0f);
+}
+
+TEST(Fuser, OpaqueOpBreaksChain) {
+  std::vector<float> in(4, 1.0f), t1(4), out(4);
+  Program p;
+  p.add_elementwise("a", in.data(), t1.data(), 4,
+                    {EwKind::kMulScalar, nullptr, 3.0f});
+  p.add_op("barrier", OpKind::kMath, 0, 0, [] {});
+  p.add_elementwise("b", t1.data(), out.data(), 4,
+                    {EwKind::kAddScalar, nullptr, 1.0f});
+  FuseStats stats;
+  Program fused = fuse_elementwise_chains(p, &stats);
+  EXPECT_EQ(stats.ops_after, 3u);
+}
+
+TEST(Fuser, BinaryStagesCarrySecondOperand) {
+  std::vector<float> in(4, 1.0f), other(4, 10.0f), t1(4), out(4);
+  Program p;
+  p.add_elementwise("addT", in.data(), t1.data(), 4,
+                    {EwKind::kAddTensor, other.data(), 0.0f});
+  p.add_elementwise("mulS", t1.data(), out.data(), 4,
+                    {EwKind::kMulScalar, nullptr, 2.0f});
+  FuseStats stats;
+  Program fused = fuse_elementwise_chains(p, &stats);
+  EXPECT_EQ(stats.ops_after, 1u);
+  GraphExec g(fused);
+  g.replay();
+  EXPECT_EQ(out[0], 22.0f);
+}
+
+TEST(Ir, ApplyEwStageSemantics) {
+  float other[2] = {10.0f, 20.0f};
+  EXPECT_EQ(apply_ew_stage({EwKind::kCopy, nullptr, 0}, 3.0f, 0), 3.0f);
+  EXPECT_EQ(apply_ew_stage({EwKind::kAddScalar, nullptr, 2.0f}, 3.0f, 0), 5.0f);
+  EXPECT_EQ(apply_ew_stage({EwKind::kMulScalar, nullptr, 2.0f}, 3.0f, 0), 6.0f);
+  EXPECT_EQ(apply_ew_stage({EwKind::kAddTensor, other, 0}, 3.0f, 1), 23.0f);
+  EXPECT_EQ(apply_ew_stage({EwKind::kMulTensor, other, 0}, 3.0f, 0), 30.0f);
+  EXPECT_EQ(apply_ew_stage({EwKind::kRelu, nullptr, 0}, -1.0f, 0), 0.0f);
+  EXPECT_GT(apply_ew_stage({EwKind::kSigmoid, nullptr, 0}, 0.0f, 0), 0.49f);
+}
+
+TEST(Ir, OpKindNames) {
+  EXPECT_STREQ(op_kind_name(OpKind::kMath), "math-bounded");
+  EXPECT_STREQ(op_kind_name(OpKind::kMemoryBound), "memory-bounded");
+  EXPECT_STREQ(op_kind_name(OpKind::kMemOp), "memory-operation");
+}
+
+}  // namespace
+}  // namespace sf::graph

@@ -1,0 +1,178 @@
+// Tests for the LayerNorm kernels: ScaleFold's fused single-pass design
+// must be numerically equivalent to the naive multi-pass baseline, and
+// both must match finite differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/layernorm.h"
+
+namespace sf::kernels {
+namespace {
+
+constexpr float kEps = 1e-5f;
+
+struct LnData {
+  std::vector<float> x, gamma, beta, dy;
+  int64_t rows, cols;
+};
+
+LnData make_data(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  LnData d;
+  d.rows = rows;
+  d.cols = cols;
+  d.x.resize(rows * cols);
+  d.dy.resize(rows * cols);
+  d.gamma.resize(cols);
+  d.beta.resize(cols);
+  fill_normal(rng, d.x.data(), d.x.size(), 0.5f, 2.0f);
+  fill_normal(rng, d.dy.data(), d.dy.size(), 0.0f, 1.0f);
+  fill_normal(rng, d.gamma.data(), cols, 1.0f, 0.2f);
+  fill_normal(rng, d.beta.data(), cols, 0.0f, 0.2f);
+  return d;
+}
+
+using LnParam = std::tuple<int, int, int>;  // rows, cols, rows_per_tile
+
+class LayerNormSweep : public ::testing::TestWithParam<LnParam> {};
+
+TEST_P(LayerNormSweep, FusedForwardMatchesNaive) {
+  auto [rows, cols, tile] = GetParam();
+  LnData d = make_data(rows, cols, 7);
+  std::vector<float> y_naive(rows * cols), y_fused(rows * cols);
+  LayerNormStats s_naive, s_fused;
+  layernorm_forward_naive(d.x.data(), d.gamma.data(), d.beta.data(),
+                          y_naive.data(), rows, cols, kEps, &s_naive);
+  layernorm_forward_fused(d.x.data(), d.gamma.data(), d.beta.data(),
+                          y_fused.data(), rows, cols, kEps, &s_fused, tile);
+  for (int64_t i = 0; i < rows * cols; ++i) {
+    EXPECT_NEAR(y_naive[i], y_fused[i], 2e-4f) << "elem " << i;
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    EXPECT_NEAR(s_naive.mean[r], s_fused.mean[r], 1e-4f);
+    EXPECT_NEAR(s_naive.rstd[r], s_fused.rstd[r], 1e-3f);
+  }
+}
+
+TEST_P(LayerNormSweep, FusedBackwardMatchesNaive) {
+  auto [rows, cols, tile] = GetParam();
+  LnData d = make_data(rows, cols, 13);
+  std::vector<float> y(rows * cols);
+  LayerNormStats stats;
+  layernorm_forward_fused(d.x.data(), d.gamma.data(), d.beta.data(), y.data(),
+                          rows, cols, kEps, &stats);
+
+  std::vector<float> dx_n(rows * cols), dg_n(cols), db_n(cols);
+  std::vector<float> dx_f(rows * cols), dg_f(cols), db_f(cols);
+  layernorm_backward_naive(d.x.data(), d.gamma.data(), d.dy.data(), stats,
+                           dx_n.data(), dg_n.data(), db_n.data(), rows, cols);
+  layernorm_backward_fused(d.x.data(), d.gamma.data(), d.dy.data(), stats,
+                           dx_f.data(), dg_f.data(), db_f.data(), rows, cols,
+                           tile);
+  for (int64_t i = 0; i < rows * cols; ++i) {
+    EXPECT_NEAR(dx_n[i], dx_f[i], 2e-4f);
+  }
+  for (int64_t c = 0; c < cols; ++c) {
+    EXPECT_NEAR(dg_n[c], dg_f[c], 2e-3f);
+    EXPECT_NEAR(db_n[c], db_f[c], 2e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayerNormSweep,
+    ::testing::Values(LnParam{1, 8, 1}, LnParam{1, 8, 4}, LnParam{5, 3, 2},
+                      LnParam{16, 128, 4}, LnParam{33, 256, 8},
+                      LnParam{64, 17, 32}, LnParam{7, 1, 4},
+                      LnParam{128, 64, 64}, LnParam{31, 128, 100}));
+
+TEST(LayerNorm, NormalizesToZeroMeanUnitVar) {
+  LnData d = make_data(10, 64, 17);
+  std::fill(d.gamma.begin(), d.gamma.end(), 1.0f);
+  std::fill(d.beta.begin(), d.beta.end(), 0.0f);
+  std::vector<float> y(10 * 64);
+  layernorm_forward_fused(d.x.data(), d.gamma.data(), d.beta.data(), y.data(),
+                          10, 64, kEps, nullptr);
+  for (int64_t r = 0; r < 10; ++r) {
+    double mean = 0, var = 0;
+    for (int64_t c = 0; c < 64; ++c) mean += y[r * 64 + c];
+    mean /= 64;
+    for (int64_t c = 0; c < 64; ++c) {
+      var += (y[r * 64 + c] - mean) * (y[r * 64 + c] - mean);
+    }
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNorm, AffineApplied) {
+  const int64_t cols = 4;
+  std::vector<float> x{1, 2, 3, 4};
+  std::vector<float> gamma{2, 2, 2, 2}, beta{1, 1, 1, 1};
+  std::vector<float> y(4);
+  layernorm_forward_fused(x.data(), gamma.data(), beta.data(), y.data(), 1,
+                          cols, kEps, nullptr);
+  // mean of y should be beta (normalized part is zero-mean, scaled by gamma)
+  double mean = (y[0] + y[1] + y[2] + y[3]) / 4;
+  EXPECT_NEAR(mean, 1.0, 1e-4);
+}
+
+// Central-difference check of dx on a tiny problem.
+TEST(LayerNorm, BackwardMatchesFiniteDifferences) {
+  const int64_t rows = 2, cols = 5;
+  LnData d = make_data(rows, cols, 29);
+  auto loss = [&](const std::vector<float>& x) {
+    std::vector<float> y(rows * cols);
+    layernorm_forward_fused(x.data(), d.gamma.data(), d.beta.data(), y.data(),
+                            rows, cols, kEps, nullptr);
+    double acc = 0;
+    for (int64_t i = 0; i < rows * cols; ++i) acc += y[i] * d.dy[i];
+    return acc;
+  };
+  std::vector<float> y(rows * cols);
+  LayerNormStats stats;
+  layernorm_forward_fused(d.x.data(), d.gamma.data(), d.beta.data(), y.data(),
+                          rows, cols, kEps, &stats);
+  std::vector<float> dx(rows * cols), dg(cols), db(cols);
+  layernorm_backward_fused(d.x.data(), d.gamma.data(), d.dy.data(), stats,
+                           dx.data(), dg.data(), db.data(), rows, cols);
+  const float h = 1e-2f;
+  for (int64_t i = 0; i < rows * cols; ++i) {
+    auto xp = d.x;
+    xp[i] += h;
+    auto xm = d.x;
+    xm[i] -= h;
+    float numeric = static_cast<float>((loss(xp) - loss(xm)) / (2 * h));
+    EXPECT_NEAR(dx[i], numeric, 5e-2f) << "elem " << i;
+  }
+}
+
+TEST(LayerNorm, ZeroRowsIsNoop) {
+  std::vector<float> gamma(4, 1.0f), beta(4, 0.0f);
+  std::vector<float> y(1, -1.0f);
+  LayerNormStats stats;
+  layernorm_forward_fused(nullptr, gamma.data(), beta.data(), y.data(), 0, 4,
+                          kEps, &stats);
+  EXPECT_TRUE(stats.mean.empty());
+  layernorm_forward_naive(nullptr, gamma.data(), beta.data(), y.data(), 0, 4,
+                          kEps, &stats);
+  EXPECT_TRUE(stats.mean.empty());
+}
+
+TEST(LayerNorm, ConstantRowIsStable) {
+  // Zero variance: output should be beta, not NaN.
+  std::vector<float> x(8, 3.0f), gamma(8, 1.5f), beta(8, 0.25f), y(8);
+  layernorm_forward_fused(x.data(), gamma.data(), beta.data(), y.data(), 1, 8,
+                          kEps, nullptr);
+  for (float v : y) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_NEAR(v, 0.25f, 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace sf::kernels

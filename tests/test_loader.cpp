@@ -1,0 +1,234 @@
+// Tests for the data-pipeline loaders: PyTorch-style in-order vs
+// ScaleFold's non-blocking ready-first queue (§3.2 / Fig. 5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "common/timer.h"
+#include "data/loader.h"
+
+namespace sf::data {
+namespace {
+
+// Batch factory with controllable per-index delays.
+PrefetchLoader::BatchFn delayed_batches(std::vector<int> delays_ms) {
+  return [delays = std::move(delays_ms)](int64_t i) {
+    if (i < static_cast<int64_t>(delays.size()) && delays[i] > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delays[i]));
+    }
+    Batch b;
+    b.index = i;
+    b.prep_seconds = delays.size() > static_cast<size_t>(i)
+                         ? delays[i] * 1e-3
+                         : 0.0;
+    return b;
+  };
+}
+
+LoaderConfig config(YieldPolicy policy, int workers = 2, int in_flight = 4) {
+  LoaderConfig c;
+  c.policy = policy;
+  c.num_workers = workers;
+  c.max_in_flight = in_flight;
+  return c;
+}
+
+TEST(Loader, DeliversExactlyOnceInOrderPolicy) {
+  const int64_t n = 40;
+  PrefetchLoader loader(delayed_batches({}), n,
+                        config(YieldPolicy::kInOrder, 4, 8));
+  std::vector<int64_t> got;
+  while (loader.has_next()) got.push_back(loader.next().index);
+  ASSERT_EQ(got.size(), static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(Loader, DeliversExactlyOnceReadyFirstPolicy) {
+  const int64_t n = 60;
+  // Random-ish delays to force reordering.
+  std::vector<int> delays(n);
+  for (int64_t i = 0; i < n; ++i) delays[i] = (i * 7) % 4;
+  PrefetchLoader loader(delayed_batches(delays), n,
+                        config(YieldPolicy::kReadyFirst, 4, 8));
+  std::set<int64_t> got;
+  while (loader.has_next()) {
+    auto b = loader.next();
+    EXPECT_TRUE(got.insert(b.index).second) << "duplicate " << b.index;
+  }
+  EXPECT_EQ(got.size(), static_cast<size_t>(n));
+  EXPECT_EQ(*got.begin(), 0);
+  EXPECT_EQ(*got.rbegin(), n - 1);
+}
+
+TEST(Loader, ReadyFirstReorderingBoundedByWindow) {
+  const int64_t n = 50;
+  const int in_flight = 6;
+  std::vector<int> delays(n, 0);
+  delays[10] = 60;  // slow batch
+  PrefetchLoader loader(delayed_batches(delays), n,
+                        config(YieldPolicy::kReadyFirst, 3, in_flight));
+  std::vector<int64_t> order;
+  while (loader.has_next()) order.push_back(loader.next().index);
+  // A *fast* batch is only reordered within the prefetch window: it can be
+  // held back only by smaller ready indices and overtaken only while it is
+  // one of the <= in_flight incomplete batches. (The slow batch itself may
+  // be overtaken arbitrarily many times — that is the point of the
+  // non-blocking design.)
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    if (order[pos] == 10) continue;  // the deliberately slow batch
+    EXPECT_LE(std::llabs(order[pos] - static_cast<int64_t>(pos)), in_flight)
+        << "index " << order[pos] << " at position " << pos;
+  }
+  // The slow batch still arrives, late.
+  auto it = std::find(order.begin(), order.end(), 10);
+  ASSERT_NE(it, order.end());
+  EXPECT_GE(it - order.begin(), 10);
+}
+
+TEST(Loader, SlowBatchBlocksInOrderButNotReadyFirst) {
+  // The Fig. 5 scenario: batch 'b' is slow; 'c' is ready. In-order makes
+  // the consumer wait for 'b'; ready-first yields 'c' immediately.
+  auto run = [&](YieldPolicy policy) {
+    std::vector<int> delays{0, 120, 0, 0, 0, 0};
+    PrefetchLoader loader(delayed_batches(delays), 6, config(policy, 3, 6));
+    // Consume batch 0 (fast).
+    loader.next();
+    // Now ask for the next batch while batch 1 is still cooking.
+    Timer t;
+    Batch second = loader.next();
+    double wait = t.elapsed();
+    return std::pair<double, int64_t>(wait, second.index);
+  };
+  auto [wait_blocking, idx_blocking] = run(YieldPolicy::kInOrder);
+  auto [wait_ready, idx_ready] = run(YieldPolicy::kReadyFirst);
+  EXPECT_EQ(idx_blocking, 1);        // strict order
+  EXPECT_GT(wait_blocking, 0.05);    // had to wait for the slow batch
+  EXPECT_NE(idx_ready, 1);           // overtook the slow batch
+  EXPECT_LT(wait_ready, 0.05);
+}
+
+TEST(Loader, ReadyFirstStillDeliversSlowBatchLater) {
+  std::vector<int> delays{0, 80, 0, 0};
+  PrefetchLoader loader(delayed_batches(delays), 4,
+                        config(YieldPolicy::kReadyFirst, 2, 4));
+  std::vector<int64_t> order;
+  while (loader.has_next()) order.push_back(loader.next().index);
+  EXPECT_NE(std::find(order.begin(), order.end(), 1), order.end());
+}
+
+TEST(Loader, PriorityQueueYieldsSmallestReadyIndex) {
+  // All ready simultaneously: ready-first must still prefer index order
+  // (best-effort order preservation via the priority queue).
+  const int64_t n = 12;
+  PrefetchLoader loader(delayed_batches(std::vector<int>(n, 5)), n,
+                        config(YieldPolicy::kReadyFirst, 4, 12));
+  // Give workers time to fill the queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::vector<int64_t> order;
+  while (loader.has_next()) order.push_back(loader.next().index);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(Loader, StatsTrackWaitAndOrder) {
+  std::vector<int> delays{30, 0, 0};
+  PrefetchLoader loader(delayed_batches(delays), 3,
+                        config(YieldPolicy::kInOrder, 2, 4));
+  while (loader.has_next()) loader.next();
+  const auto& s = loader.stats();
+  EXPECT_EQ(s.batches_yielded, 3);
+  EXPECT_EQ(s.yield_order.size(), 3u);
+  EXPECT_EQ(s.prep_seconds.size(), 3u);
+  EXPECT_GT(s.consumer_wait_seconds, 0.0);
+}
+
+TEST(Loader, NextPastEndThrows) {
+  PrefetchLoader loader(delayed_batches({}), 1,
+                        config(YieldPolicy::kReadyFirst));
+  loader.next();
+  EXPECT_FALSE(loader.has_next());
+  EXPECT_THROW(loader.next(), Error);
+}
+
+TEST(Loader, DestructionWithUnconsumedBatchesIsClean) {
+  auto loader = std::make_unique<PrefetchLoader>(
+      delayed_batches(std::vector<int>(20, 10)), 20,
+      config(YieldPolicy::kInOrder, 2, 4));
+  loader->next();
+  loader.reset();  // must join workers without deadlock
+  SUCCEED();
+}
+
+TEST(Loader, InFlightBudgetMustCoverWorkers) {
+  EXPECT_THROW(PrefetchLoader(delayed_batches({}), 4,
+                              config(YieldPolicy::kInOrder, 4, 2)),
+               Error);
+}
+
+TEST(Loader, ZeroBatches) {
+  PrefetchLoader loader(delayed_batches({}), 0,
+                        config(YieldPolicy::kReadyFirst));
+  EXPECT_FALSE(loader.has_next());
+}
+
+TEST(Loader, StressManyBatchesManyWorkers) {
+  const int64_t n = 300;
+  std::vector<int> delays(n);
+  for (int64_t i = 0; i < n; ++i) delays[i] = i % 3;
+  PrefetchLoader loader(delayed_batches(delays), n,
+                        config(YieldPolicy::kReadyFirst, 8, 16));
+  std::set<int64_t> got;
+  while (loader.has_next()) got.insert(loader.next().index);
+  EXPECT_EQ(got.size(), static_cast<size_t>(n));
+}
+
+TEST(Loader, ConsumerThroughputReadyFirstBeatsInOrderUnderStraggler) {
+  // End-to-end time with a periodic straggler: ready-first should finish
+  // faster because the consumer never parks behind the slow batch.
+  auto run = [&](YieldPolicy policy) {
+    const int64_t n = 24;
+    std::vector<int> delays(n, 0);
+    for (int64_t i = 4; i < n; i += 8) delays[i] = 50;
+    PrefetchLoader loader(delayed_batches(delays), n, config(policy, 2, 6));
+    Timer t;
+    while (loader.has_next()) {
+      loader.next();
+      // Consumer "training step" of 5ms.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return t.elapsed();
+  };
+  double blocking = run(YieldPolicy::kInOrder);
+  double ready = run(YieldPolicy::kReadyFirst);
+  EXPECT_LT(ready, blocking * 1.05);
+}
+
+
+TEST(Loader, WorkerExceptionSurfacesAtNext) {
+  // A throwing preparation function must not terminate the process; the
+  // consumer sees the exception on its own thread (PyTorch semantics).
+  for (auto policy : {YieldPolicy::kInOrder, YieldPolicy::kReadyFirst}) {
+    PrefetchLoader loader(
+        [](int64_t i) -> Batch {
+          if (i == 2) throw Error("featurization failed");
+          Batch b;
+          b.index = i;
+          return b;
+        },
+        6, config(policy, 2, 4));
+    bool threw = false;
+    try {
+      for (int k = 0; k < 6; ++k) loader.next();
+    } catch (const Error& e) {
+      threw = true;
+      EXPECT_NE(std::string(e.what()).find("featurization"),
+                std::string::npos);
+    }
+    EXPECT_TRUE(threw);
+  }
+}
+
+}  // namespace
+}  // namespace sf::data

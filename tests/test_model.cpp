@@ -1,0 +1,473 @@
+// Tests for the mini-AlphaFold: module shapes, kernel-path equivalence
+// (flash vs naive MHA, fused vs naive LN must not change the model),
+// recycling, losses and the lDDT-Ca metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "data/protein_sample.h"
+#include "model/alphafold.h"
+#include "model/metrics.h"
+
+namespace sf::model {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig c;
+  c.crop_len = 12;
+  c.msa_rows = 3;
+  c.c_m = 8;
+  c.c_z = 8;
+  c.c_s = 8;
+  c.heads = 2;
+  c.head_dim = 4;
+  c.evoformer_blocks = 1;
+  c.extra_msa_blocks = 1;
+  c.template_pair_blocks = 1;
+  c.opm_dim = 2;
+  c.transition_factor = 2;
+  c.structure_layers = 2;
+  c.max_recycles = 2;
+  return c;
+}
+
+data::DatasetConfig tiny_data() {
+  data::DatasetConfig c;
+  c.num_samples = 6;
+  c.crop_len = 12;
+  c.msa_rows = 3;
+  c.msa_work_cap = 100;
+  c.seed = 77;
+  return c;
+}
+
+data::Batch make_batch(int64_t idx = 0) {
+  data::SyntheticProteinDataset ds(tiny_data());
+  return ds.prepare_batch(idx);
+}
+
+// AF2-style init zeroes residual-final projections, which (correctly)
+// blocks gradient flow into module interiors and makes recycling a no-op
+// at step 0. Kick those weights to small random values to test the
+// trained-model regime.
+void kick_zero_params(ParamStore& store, uint64_t seed = 321) {
+  Rng rng(seed);
+  for (auto& p : store.all()) {
+    if (p.value().max_abs() == 0.0f) {
+      auto& v = const_cast<autograd::Var&>(p).mutable_value();
+      for (int64_t i = 0; i < v.numel(); ++i) {
+        v.at(i) = static_cast<float>(rng.normal()) * 0.05f;
+      }
+    }
+  }
+}
+
+TEST(Modules, EvoformerBlockPreservesShapes) {
+  ModelConfig cfg = tiny_config();
+  Rng rng(1);
+  ParamStore store;
+  EvoformerBlock block(store, "b", cfg, rng);
+  Var msa(Tensor::randn({cfg.msa_rows, cfg.crop_len, cfg.c_m}, rng), true);
+  Var pair(Tensor::randn({cfg.crop_len, cfg.crop_len, cfg.c_z}, rng), true);
+  auto out = block({msa, pair}, nullptr);
+  EXPECT_EQ(out.msa.shape(), msa.shape());
+  EXPECT_EQ(out.pair.shape(), pair.shape());
+  EXPECT_TRUE(out.msa.value().all_finite());
+  EXPECT_TRUE(out.pair.value().all_finite());
+}
+
+TEST(Modules, EvoformerBackwardReachesAllParameters) {
+  ModelConfig cfg = tiny_config();
+  Rng rng(2);
+  ParamStore store;
+  EvoformerBlock block(store, "b", cfg, rng);
+  kick_zero_params(store);
+  Var msa(Tensor::randn({cfg.msa_rows, cfg.crop_len, cfg.c_m}, rng), true);
+  Var pair(Tensor::randn({cfg.crop_len, cfg.crop_len, cfg.c_z}, rng), true);
+  auto out = block({msa, pair}, nullptr);
+  autograd::backward(
+      autograd::add(autograd::sum(out.msa), autograd::sum(out.pair)));
+  int with_grad = 0;
+  for (const auto& p : store.all()) {
+    if (p.grad().max_abs() > 0.0f) ++with_grad;
+  }
+  // Residual-final (zero-init) projections still receive weight grads; at
+  // minimum the vast majority of tensors must be reached.
+  EXPECT_GT(with_grad, static_cast<int>(store.size() * 0.85));
+}
+
+TEST(Modules, GatedAttentionRejectsBadRank) {
+  ModelConfig cfg = tiny_config();
+  Rng rng(3);
+  ParamStore store;
+  GatedAttention attn(store, "a", cfg.c_m, cfg, rng);
+  Var bad(Tensor::randn({4, cfg.c_m}, rng), false);
+  EXPECT_THROW(attn(bad, nullptr, nullptr), Error);
+}
+
+TEST(Model, ForwardProducesFinitePositionsAndLoss) {
+  MiniAlphaFold net(tiny_config());
+  auto batch = make_batch();
+  auto out = net.forward(batch, 1, true);
+  EXPECT_EQ(out.positions.shape(), Shape({12, 3}));
+  EXPECT_TRUE(out.positions.all_finite());
+  EXPECT_TRUE(out.loss.value().all_finite());
+  EXPECT_GT(out.loss.value().at(0), 0.0f);
+  EXPECT_GE(out.lddt, 0.0f);
+  EXPECT_LE(out.lddt, 1.0f);
+}
+
+TEST(Model, DeterministicForSameSeed) {
+  auto batch = make_batch();
+  MiniAlphaFold a(tiny_config(), 5);
+  MiniAlphaFold b(tiny_config(), 5);
+  auto oa = a.forward(batch, 1, true);
+  auto ob = b.forward(batch, 1, true);
+  EXPECT_EQ(oa.positions.max_abs_diff(ob.positions), 0.0f);
+  EXPECT_EQ(oa.loss.value().at(0), ob.loss.value().at(0));
+}
+
+TEST(Model, FlashAndNaiveMhaAgree) {
+  auto batch = make_batch();
+  ModelConfig cfg_flash = tiny_config();
+  cfg_flash.use_flash_mha = true;
+  ModelConfig cfg_naive = tiny_config();
+  cfg_naive.use_flash_mha = false;
+  MiniAlphaFold a(cfg_flash, 5);
+  MiniAlphaFold b(cfg_naive, 5);
+  auto oa = a.forward(batch, 2, true);
+  auto ob = b.forward(batch, 2, true);
+  EXPECT_LT(oa.positions.max_abs_diff(ob.positions), 1e-3f);
+  EXPECT_NEAR(oa.loss.value().at(0), ob.loss.value().at(0), 1e-3f);
+}
+
+TEST(Model, FusedAndNaiveLayerNormAgree) {
+  auto batch = make_batch();
+  ModelConfig cfg_fused = tiny_config();
+  ModelConfig cfg_naive = tiny_config();
+  cfg_naive.use_fused_layernorm = false;
+  MiniAlphaFold a(cfg_fused, 5);
+  MiniAlphaFold b(cfg_naive, 5);
+  auto oa = a.forward(batch, 1, true);
+  auto ob = b.forward(batch, 1, true);
+  EXPECT_LT(oa.positions.max_abs_diff(ob.positions), 1e-3f);
+}
+
+TEST(Model, RecyclingChangesOutput) {
+  auto batch = make_batch();
+  MiniAlphaFold net(tiny_config(), 6);
+  kick_zero_params(net.params());  // zero recycling embedders = no-op at init
+  auto one = net.forward(batch, 1, false);
+  auto two = net.forward(batch, 2, false);
+  EXPECT_GT(one.positions.max_abs_diff(two.positions), 0.0f);
+  EXPECT_EQ(one.recycles_used, 1);
+  EXPECT_EQ(two.recycles_used, 2);
+}
+
+TEST(Model, GradientsFlowThroughFullModel) {
+  auto batch = make_batch();
+  MiniAlphaFold net(tiny_config(), 7);
+  kick_zero_params(net.params());
+  auto out = net.forward(batch, 2, true);
+  autograd::backward(out.loss);
+  int with_grad = 0;
+  for (const auto& p : net.params().all()) {
+    Tensor g = p.grad();
+    EXPECT_TRUE(g.all_finite());
+    if (g.max_abs() > 0.0f) ++with_grad;
+  }
+  EXPECT_GT(with_grad, static_cast<int>(net.params().size() * 0.8));
+}
+
+TEST(Model, Bf16ModeCloseToFp32) {
+  auto batch = make_batch();
+  ModelConfig cfg32 = tiny_config();
+  ModelConfig cfg16 = tiny_config();
+  cfg16.bf16_activations = true;
+  MiniAlphaFold a(cfg32, 8);
+  MiniAlphaFold b(cfg16, 8);
+  auto oa = a.forward(batch, 1, true);
+  auto ob = b.forward(batch, 1, true);
+  EXPECT_TRUE(ob.loss.value().all_finite());
+  float rel = std::fabs(oa.loss.value().at(0) - ob.loss.value().at(0)) /
+              std::max(1.0f, oa.loss.value().at(0));
+  EXPECT_LT(rel, 0.1f);
+}
+
+TEST(Model, ParamCountsScaleWithDepth) {
+  ModelConfig one = tiny_config();
+  ModelConfig two = tiny_config();
+  two.evoformer_blocks = 2;
+  MiniAlphaFold a(one), b(two);
+  EXPECT_GT(b.params().size(), a.params().size());
+  EXPECT_GT(b.params().total_elements(), a.params().total_elements());
+}
+
+TEST(Model, PaperScaleConfigMatchesFig1) {
+  ModelConfig p = ModelConfig::paper_scale();
+  EXPECT_EQ(p.evoformer_blocks, 48);
+  EXPECT_EQ(p.extra_msa_blocks, 4);
+  EXPECT_EQ(p.template_pair_blocks, 2);
+  EXPECT_EQ(p.crop_len, 256);
+  EXPECT_EQ(p.msa_rows, 128);
+}
+
+TEST(Model, StructuralLossZeroAtTarget) {
+  auto batch = make_batch();
+  autograd::Var pos(batch.target_pos.clone(), true);
+  auto loss =
+      MiniAlphaFold::structural_loss(pos, batch.target_pos, batch.residue_mask);
+  EXPECT_NEAR(loss.value().at(0), 0.0f, 1e-4f);
+}
+
+TEST(Model, StructuralLossPositiveAwayFromTarget) {
+  auto batch = make_batch();
+  Tensor noisy = batch.target_pos.clone();
+  Rng rng(9);
+  for (int64_t i = 0; i < noisy.numel(); ++i) {
+    noisy.at(i) += static_cast<float>(rng.normal()) * 2.0f;
+  }
+  autograd::Var pos(noisy, true);
+  auto loss =
+      MiniAlphaFold::structural_loss(pos, batch.target_pos, batch.residue_mask);
+  EXPECT_GT(loss.value().at(0), 0.01f);
+}
+
+TEST(Model, StructuralLossTranslationInvariant) {
+  auto batch = make_batch();
+  Tensor shifted = batch.target_pos.clone();
+  for (int64_t i = 0; i < shifted.numel() / 3; ++i) {
+    shifted.at(i * 3) += 100.0f;
+  }
+  autograd::Var pos(shifted, true);
+  auto loss =
+      MiniAlphaFold::structural_loss(pos, batch.target_pos, batch.residue_mask);
+  EXPECT_NEAR(loss.value().at(0), 0.0f, 1e-3f);
+}
+
+// ---- lDDT-Ca ----------------------------------------------------------
+
+Tensor helix_positions(int64_t n) {
+  Tensor t({n, 3});
+  for (int64_t i = 0; i < n; ++i) {
+    t.at(i * 3) = 2.3f * std::cos(0.6f * i);
+    t.at(i * 3 + 1) = 2.3f * std::sin(0.6f * i);
+    t.at(i * 3 + 2) = 1.5f * i;
+  }
+  return t;
+}
+
+TEST(Lddt, PerfectPredictionScoresOne) {
+  Tensor pos = helix_positions(10);
+  Tensor mask = Tensor::ones({10});
+  EXPECT_EQ(lddt_ca(pos, pos, mask), 1.0f);
+}
+
+TEST(Lddt, TranslationInvariant) {
+  Tensor truth = helix_positions(10);
+  Tensor pred = truth.clone();
+  for (int64_t i = 0; i < 10; ++i) pred.at(i * 3 + 1) += 55.0f;
+  Tensor mask = Tensor::ones({10});
+  EXPECT_EQ(lddt_ca(pred, truth, mask), 1.0f);
+}
+
+TEST(Lddt, RotationInvariant) {
+  Tensor truth = helix_positions(10);
+  Tensor pred({10, 3});
+  // Rotate 90 degrees about z.
+  for (int64_t i = 0; i < 10; ++i) {
+    pred.at(i * 3) = -truth.at(i * 3 + 1);
+    pred.at(i * 3 + 1) = truth.at(i * 3);
+    pred.at(i * 3 + 2) = truth.at(i * 3 + 2);
+  }
+  Tensor mask = Tensor::ones({10});
+  EXPECT_NEAR(lddt_ca(pred, truth, mask), 1.0f, 1e-6f);
+}
+
+TEST(Lddt, DegradesWithNoise) {
+  Tensor truth = helix_positions(20);
+  Tensor mask = Tensor::ones({20});
+  Rng rng(10);
+  float prev = 1.0f;
+  for (float sigma : {0.2f, 1.0f, 4.0f}) {
+    Tensor pred = truth.clone();
+    Rng local(11);
+    for (int64_t i = 0; i < pred.numel(); ++i) {
+      pred.at(i) += static_cast<float>(local.normal()) * sigma;
+    }
+    float score = lddt_ca(pred, truth, mask);
+    EXPECT_LT(score, prev);
+    prev = score;
+  }
+  EXPECT_LT(prev, 0.5f);  // heavy noise destroys the score
+}
+
+TEST(Lddt, MaskedResiduesExcluded) {
+  Tensor truth = helix_positions(10);
+  Tensor pred = truth.clone();
+  // Corrupt residues 8,9 but mask them out.
+  pred.at(8 * 3) += 50.0f;
+  pred.at(9 * 3) += 50.0f;
+  Tensor mask = Tensor::ones({10});
+  mask.at(8) = 0.0f;
+  mask.at(9) = 0.0f;
+  EXPECT_EQ(lddt_ca(pred, truth, mask), 1.0f);
+}
+
+TEST(Lddt, EmptyMaskGivesOne) {
+  Tensor truth = helix_positions(5);
+  Tensor mask = Tensor::zeros({5});
+  EXPECT_EQ(lddt_ca(truth, truth, mask), 1.0f);
+}
+
+TEST(Lddt, InclusionRadiusLimitsPairs) {
+  // Two clusters far apart: cross-cluster errors are invisible to lDDT.
+  Tensor truth({4, 3});
+  truth.at(0) = 0;
+  truth.at(3) = 2;  // cluster A: residues 0,1 near origin
+  truth.at(6) = 100;
+  truth.at(9) = 102;  // cluster B: residues 2,3 near x=100
+  Tensor pred = truth.clone();
+  // Move cluster B 10 A further: inter-cluster distances change hugely but
+  // all pairs < 15 A stay intact.
+  pred.at(6) += 10;
+  pred.at(9) += 10;
+  Tensor mask = Tensor::ones({4});
+  EXPECT_EQ(lddt_ca(pred, truth, mask), 1.0f);
+}
+
+
+// ---- dRMSD and contact precision ---------------------------------------
+
+TEST(Drmsd, ZeroForPerfectAndRigidMotions) {
+  Tensor truth = helix_positions(12);
+  Tensor mask = Tensor::ones({12});
+  EXPECT_EQ(drmsd(truth, truth, mask), 0.0f);
+  // Translation invariance.
+  Tensor shifted = truth.clone();
+  for (int64_t i = 0; i < 12; ++i) shifted.at(i * 3) += 42.0f;
+  EXPECT_NEAR(drmsd(shifted, truth, mask), 0.0f, 1e-4f);
+}
+
+TEST(Drmsd, GrowsWithNoise) {
+  Tensor truth = helix_positions(16);
+  Tensor mask = Tensor::ones({16});
+  Rng rng(55);
+  float prev = 0.0f;
+  for (float sigma : {0.5f, 2.0f, 6.0f}) {
+    Tensor pred = truth.clone();
+    Rng local(56);
+    for (int64_t i = 0; i < pred.numel(); ++i) {
+      pred.at(i) += static_cast<float>(local.normal()) * sigma;
+    }
+    float v = drmsd(pred, truth, mask);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  (void)rng;
+}
+
+TEST(Drmsd, MaskedResiduesIgnored) {
+  Tensor truth = helix_positions(8);
+  Tensor pred = truth.clone();
+  pred.at(7 * 3) += 100.0f;  // corrupt the last residue
+  Tensor mask = Tensor::ones({8});
+  mask.at(7) = 0.0f;
+  EXPECT_EQ(drmsd(pred, truth, mask), 0.0f);
+}
+
+TEST(ContactPrecision, PerfectPredictionScoresOne) {
+  Tensor truth = helix_positions(20);
+  Tensor mask = Tensor::ones({20});
+  EXPECT_EQ(contact_precision(truth, truth, mask), 1.0f);
+}
+
+TEST(ContactPrecision, NoPredictedContactsIsVacuouslyOne) {
+  // A stretched-out prediction has no short-range pairs at separation>=6.
+  Tensor pred({10, 3});
+  for (int64_t i = 0; i < 10; ++i) pred.at(i * 3) = 20.0f * i;
+  Tensor truth = helix_positions(10);
+  Tensor mask = Tensor::ones({10});
+  EXPECT_EQ(contact_precision(pred, truth, mask), 1.0f);
+}
+
+TEST(ContactPrecision, FalseContactsLowerTheScore) {
+  Tensor truth({12, 3});
+  for (int64_t i = 0; i < 12; ++i) truth.at(i * 3) = 20.0f * i;  // no contacts
+  // Prediction collapses everything to the origin: all predicted contacts
+  // are false.
+  Tensor pred({12, 3});
+  Tensor mask = Tensor::ones({12});
+  EXPECT_EQ(contact_precision(pred, truth, mask), 0.0f);
+}
+
+
+TEST(Model, TemplateFeaturesFlowIntoPairRep) {
+  // With the template stack on, the homolog distogram must influence the
+  // prediction and its embedder must receive gradients.
+  ModelConfig cfg = tiny_config();  // template stack enabled by default
+  auto batch = make_batch();
+  MiniAlphaFold net(cfg, 40);
+  kick_zero_params(net.params());
+  auto with_template = net.forward(batch, 1, true);
+
+  data::Batch no_template = batch;
+  no_template.template_feat = Tensor();  // absent template
+  auto without = net.forward(no_template, 1, true);
+  EXPECT_GT(with_template.positions.max_abs_diff(without.positions), 0.0f);
+
+  autograd::backward(with_template.loss);
+  EXPECT_GT(net.params().get("embed.template.w").grad().max_abs(), 0.0f);
+}
+
+
+TEST(Model, DropoutAppliesDuringTrainingOnly) {
+  auto batch = make_batch();
+  ModelConfig cfg = tiny_config();
+  cfg.msa_dropout = 0.3f;
+  cfg.pair_dropout = 0.3f;
+  MiniAlphaFold net(cfg, 50);
+  kick_zero_params(net.params());
+  // Without an RNG: deterministic eval-mode forward.
+  auto a = net.forward(batch, 1, false);
+  auto b = net.forward(batch, 1, false);
+  EXPECT_EQ(a.positions.max_abs_diff(b.positions), 0.0f);
+  // With an RNG: stochastic training-mode forward.
+  Rng r1(1), r2(2);
+  auto c = net.forward(batch, 1, false, &r1);
+  auto d = net.forward(batch, 1, false, &r2);
+  EXPECT_GT(c.positions.max_abs_diff(d.positions), 0.0f);
+  // Same RNG state: reproducible.
+  Rng r3(7), r4(7);
+  auto e = net.forward(batch, 1, false, &r3);
+  auto f = net.forward(batch, 1, false, &r4);
+  EXPECT_EQ(e.positions.max_abs_diff(f.positions), 0.0f);
+}
+
+TEST(Model, DropoutWithCheckpointingMatchesUncheckpointed) {
+  auto batch = make_batch();
+  ModelConfig plain_cfg = tiny_config();
+  plain_cfg.msa_dropout = 0.2f;
+  plain_cfg.pair_dropout = 0.2f;
+  ModelConfig ckpt_cfg = plain_cfg;
+  ckpt_cfg.gradient_checkpointing = true;
+  MiniAlphaFold plain(plain_cfg, 51);
+  MiniAlphaFold ckpt(ckpt_cfg, 51);
+  Rng r1(9), r2(9);
+  auto a = plain.forward(batch, 1, true, &r1);
+  auto b = ckpt.forward(batch, 1, true, &r2);
+  // Same dropout draws => identical losses...
+  EXPECT_NEAR(a.loss.value().at(0), b.loss.value().at(0), 1e-4f);
+  // ...and identical gradients (the recompute replays the same masks).
+  autograd::backward(a.loss);
+  autograd::backward(b.loss);
+  auto pa = plain.params().all();
+  auto pb = ckpt.params().all();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(pa[i].grad().max_abs_diff(pb[i].grad()), 5e-4f) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sf::model

@@ -1,0 +1,202 @@
+// Tests for the rigid-body geometry substrate: quaternions, rotations,
+// frames, backbone-frame extraction, and FAPE.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "model/rigid.h"
+
+namespace sf::model {
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+Quat axis_angle(float axis_x, float axis_y, float axis_z, float angle) {
+  float n = std::sqrt(axis_x * axis_x + axis_y * axis_y + axis_z * axis_z);
+  float s = std::sin(angle / 2) / n;
+  return quat_normalize({std::cos(angle / 2), axis_x * s, axis_y * s,
+                         axis_z * s});
+}
+
+void expect_vec_near(const Vec3& a, const Vec3& b, float tol = 1e-5f) {
+  EXPECT_NEAR(a[0], b[0], tol);
+  EXPECT_NEAR(a[1], b[1], tol);
+  EXPECT_NEAR(a[2], b[2], tol);
+}
+
+TEST(Quat, NormalizeUnitLength) {
+  Quat q = quat_normalize({3, 4, 0, 0});
+  EXPECT_NEAR(q.w * q.w + q.x * q.x + q.y * q.y + q.z * q.z, 1.0f, 1e-6f);
+}
+
+TEST(Quat, IdentityRotation) {
+  Rot3 r = quat_to_rot(Quat{});
+  expect_vec_near(rot_apply(r, {1, 2, 3}), {1, 2, 3});
+}
+
+TEST(Quat, NinetyDegreesAboutZ) {
+  Rot3 r = quat_to_rot(axis_angle(0, 0, 1, kPi / 2));
+  expect_vec_near(rot_apply(r, {1, 0, 0}), {0, 1, 0}, 1e-5f);
+  expect_vec_near(rot_apply(r, {0, 1, 0}), {-1, 0, 0}, 1e-5f);
+}
+
+TEST(Quat, MultiplicationComposesRotations) {
+  Quat a = axis_angle(0, 0, 1, kPi / 2);
+  Quat b = axis_angle(1, 0, 0, kPi / 2);
+  Rot3 rab = quat_to_rot(quat_normalize(quat_multiply(a, b)));
+  Rot3 expected = rot_multiply(quat_to_rot(a), quat_to_rot(b));
+  for (int i = 0; i < 9; ++i) EXPECT_NEAR(rab.m[i], expected.m[i], 1e-5f);
+}
+
+TEST(Rot3, QuaternionRotationsAreOrthonormal) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Quat q = quat_normalize({static_cast<float>(rng.normal()),
+                             static_cast<float>(rng.normal()),
+                             static_cast<float>(rng.normal()),
+                             static_cast<float>(rng.normal())});
+    Rot3 r = quat_to_rot(q);
+    Rot3 rtr = rot_multiply(rot_transpose(r), r);
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        EXPECT_NEAR(rtr.m[i * 3 + j], i == j ? 1.0f : 0.0f, 1e-5f);
+      }
+    }
+    // Determinant +1 (proper rotation): check via cross product identity.
+    Vec3 c0{r.m[0], r.m[3], r.m[6]}, c1{r.m[1], r.m[4], r.m[7]};
+    Vec3 c2{r.m[2], r.m[5], r.m[8]};
+    Vec3 c0xc1{c0[1] * c1[2] - c0[2] * c1[1], c0[2] * c1[0] - c0[0] * c1[2],
+               c0[0] * c1[1] - c0[1] * c1[0]};
+    expect_vec_near(c0xc1, c2, 1e-5f);
+  }
+}
+
+TEST(Frame, ComposeWithInverseIsIdentity) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Frame f;
+    f.rot = quat_to_rot(quat_normalize({static_cast<float>(rng.normal()),
+                                        static_cast<float>(rng.normal()),
+                                        static_cast<float>(rng.normal()),
+                                        static_cast<float>(rng.normal())}));
+    f.trans = {static_cast<float>(rng.normal()),
+               static_cast<float>(rng.normal()),
+               static_cast<float>(rng.normal())};
+    Frame id = frame_compose(f, frame_invert(f));
+    expect_vec_near(id.trans, {0, 0, 0}, 1e-4f);
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        EXPECT_NEAR(id.rot.m[i * 3 + j], i == j ? 1.0f : 0.0f, 1e-4f);
+      }
+    }
+    // Round-trip on a point.
+    Vec3 p{1.5f, -2.0f, 0.25f};
+    expect_vec_near(frame_apply(frame_invert(f), frame_apply(f, p)), p, 1e-4f);
+  }
+}
+
+TEST(Frame, CompositionAssociativeOnPoints) {
+  Frame a, b;
+  a.rot = quat_to_rot(axis_angle(0, 1, 0, 0.7f));
+  a.trans = {1, 2, 3};
+  b.rot = quat_to_rot(axis_angle(1, 0, 0, -0.3f));
+  b.trans = {-2, 0, 1};
+  Vec3 p{0.5f, 0.5f, 0.5f};
+  expect_vec_near(frame_apply(frame_compose(a, b), p),
+                  frame_apply(a, frame_apply(b, p)), 1e-5f);
+}
+
+TEST(Frame, FromThreePointsIsOrthonormalWithCorrectOrigin) {
+  Frame f = frame_from_three_points({2, 0, 0}, {1, 1, 1}, {1, 5, 1});
+  expect_vec_near(f.trans, {1, 1, 1});
+  // Local origin maps to global origin of the frame.
+  expect_vec_near(frame_apply(f, {0, 0, 0}), {1, 1, 1});
+  // x-axis points toward p_x.
+  Vec3 ex = rot_apply(f.rot, {1, 0, 0});
+  Vec3 expect_dir{1.0f / std::sqrt(3.0f), -1.0f / std::sqrt(3.0f),
+                  -1.0f / std::sqrt(3.0f)};
+  expect_vec_near(ex, expect_dir, 1e-5f);
+}
+
+Tensor helix(int64_t n) {
+  Tensor t({n, 3});
+  for (int64_t i = 0; i < n; ++i) {
+    t.at(i * 3) = 2.3f * std::cos(0.6f * i);
+    t.at(i * 3 + 1) = 2.3f * std::sin(0.6f * i);
+    t.at(i * 3 + 2) = 1.5f * i;
+  }
+  return t;
+}
+
+TEST(BackboneFrames, OriginsAtCaPositions) {
+  Tensor pos = helix(8);
+  Tensor mask = Tensor::ones({8});
+  auto frames = frames_from_ca_trace(pos, mask);
+  ASSERT_EQ(frames.size(), 8u);
+  for (int64_t i = 0; i < 8; ++i) {
+    expect_vec_near(frames[i].trans,
+                    {pos.at(i * 3), pos.at(i * 3 + 1), pos.at(i * 3 + 2)});
+  }
+}
+
+TEST(BackboneFrames, MaskedResiduesGetIdentity) {
+  Tensor pos = helix(5);
+  Tensor mask = Tensor::ones({5});
+  mask.at(2) = 0.0f;
+  auto frames = frames_from_ca_trace(pos, mask);
+  expect_vec_near(frames[2].trans, {0, 0, 0});
+}
+
+TEST(Fape, ZeroForPerfectPrediction) {
+  Tensor pos = helix(10);
+  Tensor mask = Tensor::ones({10});
+  EXPECT_NEAR(fape(pos, pos, mask), 0.0f, 1e-6f);
+}
+
+TEST(Fape, InvariantUnderRigidMotionOfPrediction) {
+  // FAPE scores in local frames: rotating + translating the whole
+  // prediction must not change it (unlike plain RMSD-without-alignment).
+  Tensor truth = helix(10);
+  Tensor mask = Tensor::ones({10});
+  Rot3 r = quat_to_rot(axis_angle(0.3f, 1.0f, -0.2f, 1.1f));
+  Tensor moved({10, 3});
+  for (int64_t i = 0; i < 10; ++i) {
+    Vec3 p = rot_apply(r, {truth.at(i * 3), truth.at(i * 3 + 1),
+                           truth.at(i * 3 + 2)});
+    moved.at(i * 3) = p[0] + 12.0f;
+    moved.at(i * 3 + 1) = p[1] - 4.0f;
+    moved.at(i * 3 + 2) = p[2] + 7.0f;
+  }
+  EXPECT_NEAR(fape(moved, truth, mask), 0.0f, 1e-4f);
+}
+
+TEST(Fape, GrowsWithStructuralError) {
+  Tensor truth = helix(12);
+  Tensor mask = Tensor::ones({12});
+  Rng rng(9);
+  float prev = 0.0f;
+  for (float sigma : {0.3f, 1.5f, 5.0f}) {
+    Tensor pred = truth.clone();
+    Rng local(10);
+    for (int64_t i = 0; i < pred.numel(); ++i) {
+      pred.at(i) += static_cast<float>(local.normal()) * sigma;
+    }
+    float v = fape(pred, truth, mask);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  (void)rng;
+}
+
+TEST(Fape, ClampBoundsContributions) {
+  // Catastrophically wrong predictions saturate at clamp/scale.
+  Tensor truth = helix(8);
+  Tensor pred({8, 3});
+  for (int64_t i = 0; i < 8; ++i) pred.at(i * 3) = 1000.0f * i;
+  Tensor mask = Tensor::ones({8});
+  EXPECT_LE(fape(pred, truth, mask, 10.0f, 10.0f), 1.0f + 1e-5f);
+}
+
+}  // namespace
+}  // namespace sf::model

@@ -1,0 +1,227 @@
+// Tests for the TrainingSession orchestration (core library).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/session.h"
+
+namespace sf::core {
+namespace {
+
+ScaleFoldOptions tiny_options() {
+  ScaleFoldOptions o;
+  o.dataset.num_samples = 20;
+  o.dataset.crop_len = 12;
+  o.dataset.msa_rows = 3;
+  o.dataset.msa_work_cap = 60;
+  o.dataset.seed = 7;
+  o.model.c_m = 8;
+  o.model.c_z = 8;
+  o.model.c_s = 8;
+  o.model.heads = 2;
+  o.model.head_dim = 4;
+  o.model.evoformer_blocks = 1;
+  o.model.extra_msa_blocks = 0;
+  o.model.template_pair_blocks = 0;
+  o.model.use_extra_msa_stack = false;
+  o.model.use_template_stack = false;
+  o.model.opm_dim = 2;
+  o.model.transition_factor = 2;
+  o.model.structure_layers = 1;
+  o.train.min_recycles = 1;
+  o.train.max_recycles = 1;
+  o.eval_samples = 2;
+  o.loader_workers = 2;
+  o.loader_prefetch = 4;
+  return o;
+}
+
+TEST(Options, SyncDimsPropagates) {
+  ScaleFoldOptions o = tiny_options();
+  o.dataset.crop_len = 17;
+  o.flash_mha = false;
+  o.fused_optimizer = false;
+  o.sync_dims();
+  EXPECT_EQ(o.model.crop_len, 17);
+  EXPECT_EQ(o.model.msa_feat_dim, data::kMsaFeatDim);
+  EXPECT_FALSE(o.model.use_flash_mha);
+  EXPECT_FALSE(o.train.opt.fused);
+}
+
+TEST(Options, SimTogglesMirrorSwitches) {
+  ScaleFoldOptions o = tiny_options();
+  o.nonblocking_loader = true;
+  o.flash_mha = true;
+  o.bf16_activations = true;
+  auto t = o.sim_toggles();
+  EXPECT_TRUE(t.nonblocking_loader);
+  EXPECT_TRUE(t.triton_mha);
+  EXPECT_TRUE(t.bf16);
+  EXPECT_FALSE(t.cuda_graph);  // not an in-process switch
+}
+
+TEST(Session, RunsStepsAndRecordsMetrics) {
+  TrainingSession session(tiny_options());
+  auto records = session.run(4);
+  ASSERT_EQ(records.size(), 4u);
+  for (const auto& r : records) {
+    EXPECT_GT(r.loss, 0.0f);
+    EXPECT_TRUE(std::isfinite(r.loss));
+    EXPECT_GT(r.step_seconds, 0.0);
+  }
+  EXPECT_EQ(records.back().step, 4);
+}
+
+TEST(Session, MultipleRunsContinue) {
+  TrainingSession session(tiny_options());
+  session.run(3);
+  auto more = session.run(2);
+  EXPECT_EQ(more.back().step, 5);
+}
+
+TEST(Session, RefusesToOverrunDataset) {
+  auto o = tiny_options();
+  o.dataset.num_samples = 6;
+  o.eval_samples = 2;
+  TrainingSession session(o);
+  EXPECT_THROW(session.run(5), sf::Error);  // only 4 training samples
+}
+
+TEST(Session, SyncEvaluationWorks) {
+  auto o = tiny_options();
+  o.async_eval = false;
+  TrainingSession session(o);
+  session.run(2);
+  auto result = session.evaluate_now();
+  EXPECT_EQ(result.num_samples, 2);
+  EXPECT_GE(result.avg_lddt, 0.0f);
+  EXPECT_LE(result.avg_lddt, 1.0f);
+}
+
+TEST(Session, AsyncEvalReportsArrive) {
+  auto o = tiny_options();
+  o.async_eval = true;
+  o.eval_every_steps = 2;
+  TrainingSession session(o);
+  session.run(4);  // submits at steps 2 and 4
+  auto reports = session.drain_eval_reports();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].step, 2);
+  EXPECT_EQ(reports[1].step, 4);
+}
+
+TEST(Session, BlockingAndNonblockingBothTrain) {
+  for (bool nonblocking : {false, true}) {
+    auto o = tiny_options();
+    o.nonblocking_loader = nonblocking;
+    TrainingSession session(o);
+    auto records = session.run(3);
+    EXPECT_EQ(records.size(), 3u);
+    EXPECT_TRUE(std::isfinite(records.back().loss));
+  }
+}
+
+TEST(Session, LossTrendsDownOverShortRun) {
+  auto o = tiny_options();
+  o.train.base_lr = 3e-3f;
+  o.train.warmup_steps = 3;
+  o.dataset.num_samples = 40;
+  TrainingSession session(o);
+  auto records = session.run(16);
+  double first4 = 0, last4 = 0;
+  for (int i = 0; i < 4; ++i) {
+    first4 += records[i].loss;
+    last4 += records[records.size() - 1 - i].loss;
+  }
+  EXPECT_LT(last4, first4 * 1.25) << "diverging loss";
+}
+
+
+// The implicit core claim of the paper: every ScaleFold optimization is
+// math-preserving — fused kernels, fused optimizer, bucketed clipping,
+// checkpointing and the loader policy change *where and when* compute
+// happens, never *what* is computed. Train under every combination and
+// require identical trajectories.
+class TogglePreservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(TogglePreservation, TrajectoryMatchesReference) {
+  const int bits = GetParam();
+  auto make = [&](bool reference) {
+    auto o = tiny_options();
+    o.async_eval = false;
+    o.eval_samples = 0;
+    if (!reference) {
+      o.flash_mha = bits & 1;
+      o.fused_layernorm = bits & 2;
+      o.fused_optimizer = bits & 4;
+      o.bucketed_grad_norm = bits & 4;  // travels with the fused optimizer
+      o.gradient_checkpointing = bits & 8;
+      o.nonblocking_loader = bits & 16;
+    } else {
+      o.flash_mha = false;
+      o.fused_layernorm = false;
+      o.fused_optimizer = false;
+      o.bucketed_grad_norm = false;
+      o.gradient_checkpointing = false;
+      o.nonblocking_loader = false;
+    }
+    return o;
+  };
+  TrainingSession ref(make(true));
+  TrainingSession opt(make(false));
+  auto ref_records = ref.run(5);
+  auto opt_records = opt.run(5);
+  std::vector<float> ref_losses, opt_losses;
+  for (const auto& r : ref_records) ref_losses.push_back(r.loss);
+  for (const auto& r : opt_records) opt_losses.push_back(r.loss);
+  if (bits & 16) {
+    // The non-blocking loader may legally reorder batches (best-effort
+    // order, §3.2); the multiset of per-batch losses must still match.
+    std::sort(ref_losses.begin(), ref_losses.end());
+    std::sort(opt_losses.begin(), opt_losses.end());
+  }
+  for (size_t i = 0; i < ref_losses.size(); ++i) {
+    EXPECT_NEAR(ref_losses[i], opt_losses[i],
+                std::max(1e-3f, ref_losses[i] * 5e-3f))
+        << "step " << i << " toggle bits " << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, TogglePreservation,
+                         ::testing::Range(0, 32));
+
+
+TEST(Session, DiskEvalCacheWorks) {
+  auto o = tiny_options();
+  o.async_eval = false;
+  o.cached_eval = false;  // the uncached baseline of §3.4
+  TrainingSession session(o);
+  session.run(2);
+  auto result = session.evaluate_now();
+  EXPECT_EQ(result.num_samples, 2);
+  EXPECT_TRUE(std::isfinite(result.avg_loss));
+}
+
+TEST(Session, AuxLossesTrainThroughSession) {
+  auto o = tiny_options();
+  o.aux_losses = true;
+  TrainingSession session(o);
+  auto records = session.run(4);
+  for (const auto& r : records) EXPECT_TRUE(std::isfinite(r.loss));
+}
+
+TEST(Session, CheckpointingSessionMatchesPlain) {
+  auto a = tiny_options();
+  auto b = tiny_options();
+  b.gradient_checkpointing = true;
+  TrainingSession plain(a), ckpt(b);
+  auto ra = plain.run(3);
+  auto rb = ckpt.run(3);
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_NEAR(ra[i].loss, rb[i].loss, std::max(1e-3f, ra[i].loss * 1e-3f));
+  }
+}
+
+}  // namespace
+}  // namespace sf::core

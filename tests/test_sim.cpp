@@ -1,0 +1,424 @@
+// Tests for the cluster simulator: census reconstruction of Table 1,
+// roofline cost model, collectives, step-time mechanisms, barriers and
+// time-to-train.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "sim/calibration.h"
+#include "sim/cluster.h"
+#include "sim/collective.h"
+#include "sim/cost_model.h"
+#include "sim/gpu_arch.h"
+#include "sim/ttt.h"
+#include "sim/workload.h"
+
+namespace sf::sim {
+namespace {
+
+// ---- Census (Table 1) -------------------------------------------------
+
+TEST(Census, ReconstructsTable1Counts) {
+  CensusBreakdown c = build_census();
+  // Paper, Table 1: math 18,147; memory-bound 97,749; mem-op 34,991.
+  EXPECT_NEAR(c.total.math_calls, 18147, 18147 * 0.10);
+  EXPECT_NEAR(c.total.mem_calls, 97749, 97749 * 0.10);
+  EXPECT_NEAR(c.total.memop_calls, 34991, 34991 * 0.10);
+  // "Each step ... launches over 150,000 operators."
+  EXPECT_GT(c.total.total(), 140000);
+  EXPECT_LT(c.total.total(), 170000);
+}
+
+TEST(Census, MemoryBoundDominatesCallCount) {
+  CensusBreakdown c = build_census();
+  EXPECT_GT(c.total.mem_calls, 3 * c.total.math_calls);
+  EXPECT_GT(c.total.mem_calls, 2 * c.total.memop_calls);
+}
+
+TEST(Census, OptimizerContributesPerTensorKernels) {
+  CensusConfig with, without;
+  without.unfused_optimizer = false;
+  auto a = build_census(with);
+  auto b = build_census(without);
+  EXPECT_GT(a.total.mem_calls, b.total.mem_calls + 30000);
+  EXPECT_EQ(b.optimizer.total(), 0);
+}
+
+TEST(Census, ScalesWithDepthAndRecycling) {
+  CensusConfig deep;
+  deep.evoformer_blocks = 96;
+  EXPECT_GT(build_census(deep).trunk.total(),
+            build_census().trunk.total() * 1.5);
+  CensusConfig more_recycle;
+  more_recycle.avg_recycles = 4.0;
+  EXPECT_GT(build_census(more_recycle).trunk.total(),
+            build_census().trunk.total());
+}
+
+TEST(Census, RuntimeSharesMatchTable1) {
+  CensusBreakdown c = build_census();
+  EXPECT_NEAR(c.runtime_math, 0.2406, 1e-6);
+  EXPECT_NEAR(c.runtime_mem, 0.6503, 1e-6);
+  EXPECT_NEAR(c.runtime_memop, 0.0182, 1e-6);
+  EXPECT_NEAR(c.runtime_cpu_overhead, 0.091, 1e-3);
+}
+
+TEST(Profile, FractionsSumToOne) {
+  StepProfile p = StepProfile::reference();
+  EXPECT_NEAR(p.sum(), 1.0, 1e-9);
+  EXPECT_GT(p.other_mem, 0.0);
+  EXPECT_NEAR(p.mha, 0.34, 1e-9);
+  EXPECT_NEAR(p.layernorm, 0.14, 1e-9);
+}
+
+// ---- Cost model --------------------------------------------------------
+
+TEST(CostModel, UtilizationIncreasesWithSize) {
+  EXPECT_LT(mem_utilization(1e5), mem_utilization(1e7));
+  EXPECT_LT(math_utilization(1e8), math_utilization(1e12));
+  EXPECT_GT(mem_utilization(1e12), 0.99);
+  EXPECT_GT(mem_utilization(1.0), 0.0);
+  EXPECT_LT(mem_utilization(1.0), 1e-4);
+}
+
+TEST(CostModel, DapEfficiencyDecreasesWithDegree) {
+  EXPECT_EQ(dap_mem_efficiency(1), 1.0);
+  EXPECT_GT(dap_mem_efficiency(2), dap_mem_efficiency(4));
+  EXPECT_GT(dap_mem_efficiency(4), dap_mem_efficiency(8));
+  EXPECT_GT(dap_mem_efficiency(8), 0.1);
+  EXPECT_GT(dap_math_efficiency(2), dap_math_efficiency(8));
+}
+
+TEST(CostModel, KernelTimeRoofline) {
+  GpuArch h = GpuArch::h100();
+  // Memory-bound kernel: time ~ bytes / bw.
+  double t_mem = kernel_time_s(h, 0, 1e9, true);
+  EXPECT_GT(t_mem, 1e9 / (h.mem_bw_gbs * 1e9));
+  // Launch overhead only on the eager path.
+  double eager = kernel_time_s(h, 0, 1e6, false);
+  double graphed = kernel_time_s(h, 0, 1e6, true);
+  EXPECT_NEAR(eager - graphed, h.launch_overhead_us * 1e-6, 1e-9);
+}
+
+// ---- Collectives --------------------------------------------------------
+
+TEST(Collective, SingleRankIsFree) {
+  GpuArch h = GpuArch::h100();
+  EXPECT_EQ(allreduce_time_s(h, 1e9, 1), 0.0);
+  EXPECT_EQ(allgather_time_s(h, 1e9, 1), 0.0);
+  EXPECT_EQ(alltoall_time_s(h, 1e9, 1), 0.0);
+}
+
+TEST(Collective, MonotoneInBytes) {
+  GpuArch h = GpuArch::h100();
+  EXPECT_LT(allreduce_time_s(h, 1e6, 8), allreduce_time_s(h, 1e9, 8));
+  EXPECT_LT(allgather_time_s(h, 1e6, 4), allgather_time_s(h, 1e9, 4));
+}
+
+TEST(Collective, CrossNodeSlowerThanIntraNode) {
+  GpuArch h = GpuArch::h100();
+  // 8 ranks fit a node (NVLink); 16 spill to IB.
+  EXPECT_LT(allreduce_time_s(h, 1e9, 8), allreduce_time_s(h, 1e9, 16));
+}
+
+TEST(Collective, LatencyTermGrowsWithRanks) {
+  GpuArch h = GpuArch::h100();
+  EXPECT_LT(allreduce_time_s(h, 1.0, 16), allreduce_time_s(h, 1.0, 1024));
+}
+
+// ---- Step-time simulation ------------------------------------------------
+
+ClusterConfig base_cfg(int gpus = 128) {
+  ClusterConfig c;
+  c.arch = GpuArch::h100();
+  c.num_gpus = gpus;
+  c.sim_steps = 120;
+  return c;
+}
+
+TEST(StepSim, ReferenceAnchorsWithinTolerance) {
+  ClusterConfig a = base_cfg();
+  a.arch = GpuArch::a100();
+  double t_a100 = simulate_step_time(a).mean_step_s;
+  EXPECT_NEAR(t_a100, calib::kRefStepA100, calib::kRefStepA100 * 0.12);
+  ClusterConfig h = base_cfg();
+  double t_h100 = simulate_step_time(h).mean_step_s;
+  EXPECT_NEAR(t_h100, calib::kRefStepH100, calib::kRefStepH100 * 0.12);
+  EXPECT_LT(t_h100, t_a100);
+}
+
+TEST(StepSim, EveryOptimizationHelpsOrIsNeutral) {
+  ClusterConfig c = base_cfg();
+  double baseline = simulate_step_time(c).mean_step_s;
+  auto with = [&](auto setter) {
+    ClusterConfig cc = c;
+    setter(cc.toggles);
+    return simulate_step_time(cc).mean_step_s;
+  };
+  EXPECT_LE(with([](Toggles& t) { t.batched_gemm = true; }), baseline);
+  EXPECT_LE(with([](Toggles& t) { t.nonblocking_loader = true; }), baseline);
+  EXPECT_LE(with([](Toggles& t) { t.bf16 = true; }), baseline * 1.001);
+  EXPECT_LE(with([](Toggles& t) { t.triton_mha = true; }), baseline);
+  EXPECT_LE(with([](Toggles& t) { t.triton_ln = true; }), baseline);
+  EXPECT_LE(with([](Toggles& t) { t.fused_adam_swa = true; }), baseline);
+  EXPECT_LE(with([](Toggles& t) { t.disable_gc = true; }), baseline);
+  EXPECT_LE(with([](Toggles& t) { t.torch_compile = true; }), baseline);
+}
+
+TEST(StepSim, FullOptimizationReaches6x) {
+  // §4.1: "ScaleFold demonstrated an increased speedup of ~6.2X in
+  // training step time comparing to reference model on NVIDIA H100."
+  ClusterConfig ref = base_cfg();
+  ClusterConfig opt = base_cfg();
+  opt.dap = 8;
+  opt.toggles = Toggles::all_on();
+  double speedup = simulate_step_time(ref).mean_step_s /
+                   simulate_step_time(opt).mean_step_s;
+  EXPECT_GT(speedup, 4.5);
+  EXPECT_LT(speedup, 8.0);
+}
+
+TEST(StepSim, DapWithGraphScalesLikePaper) {
+  // Fig. 7 H100 series: 1.80 / 1.12 / 0.75 / 0.65 s.
+  ClusterConfig c = base_cfg();
+  c.toggles = Toggles::all_on();
+  c.toggles.cuda_graph = false;
+  c.toggles.disable_grad_ckpt = false;
+  c.dap = 1;
+  double t1 = simulate_step_time(c).mean_step_s;
+  c.toggles.cuda_graph = true;
+  c.toggles.disable_grad_ckpt = true;
+  auto at = [&](int n) {
+    c.dap = n;
+    return simulate_step_time(c).mean_step_s;
+  };
+  double t2 = at(2), t4 = at(4), t8 = at(8);
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t4);
+  EXPECT_GT(t4, t8);
+  // Diminishing returns: DAP-8 speedup over DAP-1 in [2, 3.5] (paper 2.77).
+  EXPECT_GT(t1 / t8, 2.0);
+  EXPECT_LT(t1 / t8, 3.5);
+}
+
+TEST(StepSim, EagerDap8SlowerThanEagerDap4) {
+  // §4.1: "Without CudaGraph, DAP-8 with disabled gradient checkpointing
+  // only achieved 1.52X speedup, which was lower than DAP-4."
+  ClusterConfig c = base_cfg();
+  c.toggles = Toggles::all_on();
+  c.toggles.cuda_graph = false;
+  c.dap = 4;
+  double t4 = simulate_step_time(c).mean_step_s;
+  c.dap = 8;
+  double t8 = simulate_step_time(c).mean_step_s;
+  EXPECT_GT(t8, t4 * 0.98);
+}
+
+TEST(StepSim, CudaGraphMattersMoreAtHighDap) {
+  auto gain = [&](int dap) {
+    ClusterConfig c = base_cfg();
+    c.toggles = Toggles::all_on();
+    c.dap = dap;
+    c.toggles.cuda_graph = false;
+    double eager = simulate_step_time(c).mean_step_s;
+    c.toggles.cuda_graph = true;
+    double graphed = simulate_step_time(c).mean_step_s;
+    return eager / graphed;
+  };
+  EXPECT_GT(gain(8), gain(1));
+}
+
+TEST(StepSim, CheckpointDisableRequiresDap8) {
+  ClusterConfig c = base_cfg();
+  c.toggles.disable_grad_ckpt = true;
+  c.dap = 1;
+  double t1 = simulate_step_time(c).mean_step_s;
+  c.toggles.disable_grad_ckpt = false;
+  double t1_off = simulate_step_time(c).mean_step_s;
+  EXPECT_NEAR(t1, t1_off, 1e-9);  // no effect at DAP-1 (no memory headroom)
+}
+
+TEST(StepSim, InOrderLoaderHurtsMoreWhenStepsAreFast) {
+  // §4.1: dataloader optimization matters more as everything else gets
+  // faster (slack shrinks relative to prep-time tail).
+  auto penalty = [&](bool optimized) {
+    ClusterConfig c = base_cfg(256);
+    if (optimized) {
+      c.toggles = Toggles::all_on();
+      c.dap = 8;
+    }
+    c.toggles.nonblocking_loader = false;
+    double blocking = simulate_step_time(c).mean_step_s;
+    c.toggles.nonblocking_loader = true;
+    double ready = simulate_step_time(c).mean_step_s;
+    return blocking / ready;
+  };
+  EXPECT_GT(penalty(true), penalty(false));
+}
+
+TEST(StepSim, BreakdownComponentsNonNegative) {
+  ClusterConfig c = base_cfg();
+  c.dap = 4;
+  StepStats s = simulate_step_time(c);
+  EXPECT_GE(s.compute_s, 0);
+  EXPECT_GE(s.serial_s, 0);
+  EXPECT_GE(s.optimizer_s, 0);
+  EXPECT_GE(s.cpu_overhead_s, 0);
+  EXPECT_GE(s.dap_comm_s, 0);
+  EXPECT_GE(s.grad_comm_s, 0);
+  EXPECT_GE(s.imbalance_s, 0);
+  EXPECT_GE(s.data_wait_s, 0);
+  EXPECT_GT(s.mean_step_s, s.ideal_s);
+}
+
+TEST(StepSim, InvalidConfigThrows) {
+  ClusterConfig c = base_cfg(10);
+  c.dap = 4;  // 10 % 4 != 0
+  EXPECT_THROW(simulate_step_time(c), sf::Error);
+}
+
+TEST(Barriers, BreakdownMatchesFig3Shape) {
+  // Fig. 3: at small DAP, CPU overhead + serial dominate; at larger DAP,
+  // imbalance and kernel scalability grow.
+  ClusterConfig c2 = base_cfg();
+  c2.dap = 2;
+  ClusterConfig c8 = base_cfg();
+  c8.dap = 8;
+  BarrierBreakdown b2 = barrier_breakdown(c2);
+  BarrierBreakdown b8 = barrier_breakdown(c8);
+  EXPECT_GT(b2.cpu_overhead, 0);
+  EXPECT_GT(b2.serial_modules, 0);
+  EXPECT_GT(b8.kernel_scalability, b2.kernel_scalability);
+  EXPECT_GT(b8.cpu_overhead, b2.cpu_overhead);  // relative share grows
+  EXPECT_GT(b8.total_gap, b2.total_gap);
+}
+
+// ---- Time-to-train ---------------------------------------------------
+
+TEST(Ttt, AsyncEvalBeatsSyncEval) {
+  TttConfig cfg;
+  cfg.cluster = base_cfg(256);
+  cfg.cluster.dap = 8;
+  cfg.cluster.toggles = Toggles::all_on();
+  cfg.async_eval = false;
+  double sync = time_to_train(cfg).total_s;
+  cfg.async_eval = true;
+  double async = time_to_train(cfg).total_s;
+  EXPECT_LT(async, sync);
+}
+
+TEST(Ttt, CachedEvalBeatsDisk) {
+  TttConfig cfg;
+  cfg.cluster = base_cfg(256);
+  cfg.async_eval = false;
+  cfg.cached_eval_set = false;
+  double disk = time_to_train(cfg).total_s;
+  cfg.cached_eval_set = true;
+  double cached = time_to_train(cfg).total_s;
+  EXPECT_LT(cached, disk);
+}
+
+TEST(Ttt, ScaleFoldAbout6xFasterThanReference) {
+  // Fig. 10: reference (256 H100) vs ScaleFold (2048 H100, DAP-8).
+  TttConfig ref;
+  ref.cluster = base_cfg(256);
+  ref.async_eval = false;
+  double t_ref = time_to_train(ref).total_s;
+
+  TttConfig sf;
+  sf.cluster = base_cfg(2048);
+  sf.cluster.dap = 8;
+  sf.cluster.toggles = Toggles::all_on();
+  sf.async_eval = true;
+  double t_sf = time_to_train(sf).total_s;
+
+  EXPECT_NEAR(t_sf / 60.0, 7.51, 7.51 * 0.25);  // ~7.5 minutes
+  double speedup = t_ref / t_sf;
+  EXPECT_GT(speedup, 4.0);
+  EXPECT_LT(speedup, 8.0);
+}
+
+TEST(Ttt, EvalRoundScalesWithGpus) {
+  EXPECT_GT(eval_round_seconds(32, 1.0, true),
+            eval_round_seconds(2048, 1.0, true));
+  EXPECT_GT(eval_round_seconds(32, 1.0, false),
+            eval_round_seconds(32, 1.0, true));
+}
+
+TEST(Pretraining, LddtCurveHitsPaperAnchors) {
+  // §4.2: avg_lddt_ca > 0.8 by step 5000; ~0.9 at 50-60k steps.
+  EXPECT_NEAR(pretraining_lddt_at_step(5000), 0.8f, 0.03f);
+  EXPECT_GE(pretraining_lddt_at_step(55000), 0.895f);
+  EXPECT_LT(pretraining_lddt_at_step(100), 0.3f);
+  // Monotone non-decreasing.
+  float prev = 0;
+  for (int64_t s = 0; s <= 60000; s += 5000) {
+    float v = pretraining_lddt_at_step(s);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Pretraining, FinishesAroundTenHours) {
+  auto r = simulate_pretraining(55000);
+  EXPECT_GT(r.total_s / 3600.0, 6.0);
+  EXPECT_LT(r.total_s / 3600.0, 13.0);  // paper: < 10 h; shape within 30%
+  EXPECT_GT(r.phase2_s, r.phase1_s);    // 50k steps dwarf the first 5k
+  EXPECT_GE(r.final_lddt, 0.895f);
+}
+
+TEST(GpuArch, H100FasterThanA100) {
+  GpuArch a = GpuArch::a100(), h = GpuArch::h100();
+  EXPECT_GT(h.mem_bw_gbs, a.mem_bw_gbs);
+  EXPECT_GT(h.tf32_tflops, a.tf32_tflops);
+  EXPECT_GT(h.bf16_tflops, h.tf32_tflops);
+}
+
+
+TEST(StepSim, StableAcrossSeeds) {
+  // The sampled-noise machinery must not make figure outputs jittery:
+  // relative spread across seeds stays within a few percent.
+  ClusterConfig c = base_cfg();
+  c.toggles = Toggles::all_on();
+  c.dap = 8;
+  double lo = 1e9, hi = 0;
+  for (uint64_t seed : {1ull, 7ull, 42ull, 1234ull, 99999ull}) {
+    c.seed = seed;
+    double t = simulate_step_time(c).mean_step_s;
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_LT((hi - lo) / lo, 0.08);
+}
+
+TEST(StepSim, MoreSimStepsConverges) {
+  ClusterConfig a = base_cfg();
+  a.sim_steps = 50;
+  ClusterConfig b = base_cfg();
+  b.sim_steps = 600;
+  double ta = simulate_step_time(a).mean_step_s;
+  double tb = simulate_step_time(b).mean_step_s;
+  EXPECT_NEAR(ta, tb, tb * 0.1);
+}
+
+TEST(GraphEffect, UselessAtDap1CrucialAtDap8) {
+  // §4.1 verbatim: "CudaGraph is not beneficial for DAP-1" but essential
+  // at DAP-8.
+  auto gain = [&](int dap) {
+    ClusterConfig c = base_cfg();
+    c.toggles = Toggles::all_on();
+    c.toggles.disable_grad_ckpt = false;
+    c.dap = dap;
+    c.toggles.cuda_graph = false;
+    double eager = simulate_step_time(c).mean_step_s;
+    c.toggles.cuda_graph = true;
+    double graphed = simulate_step_time(c).mean_step_s;
+    return eager / graphed;
+  };
+  EXPECT_LT(gain(1), 1.25);  // marginal at DAP-1
+  EXPECT_GT(gain(8), 1.5);   // decisive at DAP-8
+}
+
+}  // namespace
+}  // namespace sf::sim

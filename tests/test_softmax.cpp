@@ -1,0 +1,108 @@
+// Tests for the softmax kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/softmax.h"
+
+namespace sf::kernels {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(3);
+  const int64_t rows = 7, cols = 13;
+  std::vector<float> x(rows * cols), y(rows * cols);
+  fill_normal(rng, x.data(), x.size(), 0.0f, 3.0f);
+  softmax_forward(x.data(), y.data(), rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    double s = 0;
+    for (int64_t c = 0; c < cols; ++c) {
+      EXPECT_GT(y[r * cols + c], 0.0f);
+      s += y[r * cols + c];
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, ShiftInvariant) {
+  const int64_t cols = 5;
+  std::vector<float> x{1, 2, 3, 4, 5}, xs{101, 102, 103, 104, 105};
+  std::vector<float> y(cols), ys(cols);
+  softmax_forward(x.data(), y.data(), 1, cols);
+  softmax_forward(xs.data(), ys.data(), 1, cols);
+  for (int64_t c = 0; c < cols; ++c) EXPECT_NEAR(y[c], ys[c], 1e-6f);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  std::vector<float> x{1e4f, -1e4f, 0.0f};
+  std::vector<float> y(3);
+  softmax_forward(x.data(), y.data(), 1, 3);
+  EXPECT_NEAR(y[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(y[1], 0.0f, 1e-5f);
+  for (float v : y) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Softmax, UniformInputsGiveUniformOutput) {
+  std::vector<float> x(6, 2.5f), y(6);
+  softmax_forward(x.data(), y.data(), 1, 6);
+  for (float v : y) EXPECT_NEAR(v, 1.0f / 6.0f, 1e-6f);
+}
+
+TEST(Softmax, InPlaceSupported) {
+  std::vector<float> x{0.0f, 1.0f, 2.0f};
+  std::vector<float> expect(3);
+  softmax_forward(x.data(), expect.data(), 1, 3);
+  softmax_forward(x.data(), x.data(), 1, 3);  // in place
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], expect[i], 1e-6f);
+}
+
+TEST(SoftmaxBackward, MatchesFiniteDifferences) {
+  Rng rng(5);
+  const int64_t cols = 6;
+  std::vector<float> x(cols), dy(cols);
+  fill_normal(rng, x.data(), cols, 0.0f, 1.0f);
+  fill_normal(rng, dy.data(), cols, 0.0f, 1.0f);
+
+  auto loss = [&](const std::vector<float>& xv) {
+    std::vector<float> y(cols);
+    softmax_forward(xv.data(), y.data(), 1, cols);
+    double acc = 0;
+    for (int64_t i = 0; i < cols; ++i) acc += y[i] * dy[i];
+    return acc;
+  };
+  std::vector<float> y(cols), dx(cols);
+  softmax_forward(x.data(), y.data(), 1, cols);
+  softmax_backward(y.data(), dy.data(), dx.data(), 1, cols);
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < cols; ++i) {
+    auto xp = x;
+    xp[i] += h;
+    auto xm = x;
+    xm[i] -= h;
+    float numeric = static_cast<float>((loss(xp) - loss(xm)) / (2 * h));
+    EXPECT_NEAR(dx[i], numeric, 1e-3f);
+  }
+}
+
+TEST(SoftmaxBackward, GradSumsToZeroPerRow) {
+  // softmax grad lies in the tangent space of the simplex.
+  Rng rng(9);
+  const int64_t rows = 4, cols = 8;
+  std::vector<float> x(rows * cols), y(rows * cols), dy(rows * cols),
+      dx(rows * cols);
+  fill_normal(rng, x.data(), x.size(), 0.0f, 1.0f);
+  fill_normal(rng, dy.data(), dy.size(), 0.0f, 1.0f);
+  softmax_forward(x.data(), y.data(), rows, cols);
+  softmax_backward(y.data(), dy.data(), dx.data(), rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    double s = 0;
+    for (int64_t c = 0; c < cols; ++c) s += dx[r * cols + c];
+    EXPECT_NEAR(s, 0.0, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace sf::kernels
