@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_convergence_ablations.dir/bench_convergence_ablations.cpp.o"
+  "CMakeFiles/bench_convergence_ablations.dir/bench_convergence_ablations.cpp.o.d"
+  "bench_convergence_ablations"
+  "bench_convergence_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convergence_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

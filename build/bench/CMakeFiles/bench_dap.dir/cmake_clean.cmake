@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dap.dir/bench_dap.cpp.o"
+  "CMakeFiles/bench_dap.dir/bench_dap.cpp.o.d"
+  "bench_dap"
+  "bench_dap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mlperf_ttt.dir/bench_fig10_mlperf_ttt.cpp.o"
+  "CMakeFiles/bench_fig10_mlperf_ttt.dir/bench_fig10_mlperf_ttt.cpp.o.d"
+  "bench_fig10_mlperf_ttt"
+  "bench_fig10_mlperf_ttt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mlperf_ttt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

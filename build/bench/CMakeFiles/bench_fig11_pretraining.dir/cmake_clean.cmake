@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pretraining.dir/bench_fig11_pretraining.cpp.o"
+  "CMakeFiles/bench_fig11_pretraining.dir/bench_fig11_pretraining.cpp.o.d"
+  "bench_fig11_pretraining"
+  "bench_fig11_pretraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pretraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_barriers.dir/bench_fig3_barriers.cpp.o"
+  "CMakeFiles/bench_fig3_barriers.dir/bench_fig3_barriers.cpp.o.d"
+  "bench_fig3_barriers"
+  "bench_fig3_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_batch_prep.dir/bench_fig4_batch_prep.cpp.o"
+  "CMakeFiles/bench_fig4_batch_prep.dir/bench_fig4_batch_prep.cpp.o.d"
+  "bench_fig4_batch_prep"
+  "bench_fig4_batch_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_batch_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

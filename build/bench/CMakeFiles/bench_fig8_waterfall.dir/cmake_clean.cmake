@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_waterfall.dir/bench_fig8_waterfall.cpp.o"
+  "CMakeFiles/bench_fig8_waterfall.dir/bench_fig8_waterfall.cpp.o.d"
+  "bench_fig8_waterfall"
+  "bench_fig8_waterfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_waterfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

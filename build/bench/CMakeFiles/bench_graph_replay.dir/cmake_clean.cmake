@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_replay.dir/bench_graph_replay.cpp.o"
+  "CMakeFiles/bench_graph_replay.dir/bench_graph_replay.cpp.o.d"
+  "bench_graph_replay"
+  "bench_graph_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loader.dir/bench_loader.cpp.o"
+  "CMakeFiles/bench_loader.dir/bench_loader.cpp.o.d"
+  "bench_loader"
+  "bench_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_curves.dir/bench_scaling_curves.cpp.o"
+  "CMakeFiles/bench_scaling_curves.dir/bench_scaling_curves.cpp.o.d"
+  "bench_scaling_curves"
+  "bench_scaling_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

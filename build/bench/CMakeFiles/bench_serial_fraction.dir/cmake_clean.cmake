@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serial_fraction.dir/bench_serial_fraction.cpp.o"
+  "CMakeFiles/bench_serial_fraction.dir/bench_serial_fraction.cpp.o.d"
+  "bench_serial_fraction"
+  "bench_serial_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serial_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_pipeline_demo.dir/data_pipeline_demo.cpp.o"
+  "CMakeFiles/data_pipeline_demo.dir/data_pipeline_demo.cpp.o.d"
+  "data_pipeline_demo"
+  "data_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

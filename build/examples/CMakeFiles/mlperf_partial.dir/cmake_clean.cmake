@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_partial.dir/mlperf_partial.cpp.o"
+  "CMakeFiles/mlperf_partial.dir/mlperf_partial.cpp.o.d"
+  "mlperf_partial"
+  "mlperf_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

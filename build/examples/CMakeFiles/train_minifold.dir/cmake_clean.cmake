@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_minifold.dir/train_minifold.cpp.o"
+  "CMakeFiles/train_minifold.dir/train_minifold.cpp.o.d"
+  "train_minifold"
+  "train_minifold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_minifold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/gradcheck.cpp" "src/autograd/CMakeFiles/sf_autograd.dir/gradcheck.cpp.o" "gcc" "src/autograd/CMakeFiles/sf_autograd.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/autograd/ops_basic.cpp" "src/autograd/CMakeFiles/sf_autograd.dir/ops_basic.cpp.o" "gcc" "src/autograd/CMakeFiles/sf_autograd.dir/ops_basic.cpp.o.d"
+  "/root/repo/src/autograd/ops_fold.cpp" "src/autograd/CMakeFiles/sf_autograd.dir/ops_fold.cpp.o" "gcc" "src/autograd/CMakeFiles/sf_autograd.dir/ops_fold.cpp.o.d"
+  "/root/repo/src/autograd/ops_nn.cpp" "src/autograd/CMakeFiles/sf_autograd.dir/ops_nn.cpp.o" "gcc" "src/autograd/CMakeFiles/sf_autograd.dir/ops_nn.cpp.o.d"
+  "/root/repo/src/autograd/var.cpp" "src/autograd/CMakeFiles/sf_autograd.dir/var.cpp.o" "gcc" "src/autograd/CMakeFiles/sf_autograd.dir/var.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/sf_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

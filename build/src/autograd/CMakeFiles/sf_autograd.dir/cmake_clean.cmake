@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_autograd.dir/gradcheck.cpp.o"
+  "CMakeFiles/sf_autograd.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/sf_autograd.dir/ops_basic.cpp.o"
+  "CMakeFiles/sf_autograd.dir/ops_basic.cpp.o.d"
+  "CMakeFiles/sf_autograd.dir/ops_fold.cpp.o"
+  "CMakeFiles/sf_autograd.dir/ops_fold.cpp.o.d"
+  "CMakeFiles/sf_autograd.dir/ops_nn.cpp.o"
+  "CMakeFiles/sf_autograd.dir/ops_nn.cpp.o.d"
+  "CMakeFiles/sf_autograd.dir/var.cpp.o"
+  "CMakeFiles/sf_autograd.dir/var.cpp.o.d"
+  "libsf_autograd.a"
+  "libsf_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_common.dir/logging.cpp.o"
+  "CMakeFiles/sf_common.dir/logging.cpp.o.d"
+  "CMakeFiles/sf_common.dir/rng.cpp.o"
+  "CMakeFiles/sf_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sf_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/sf_common.dir/thread_pool.cpp.o.d"
+  "libsf_common.a"
+  "libsf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

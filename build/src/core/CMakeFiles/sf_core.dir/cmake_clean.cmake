@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_core.dir/session.cpp.o"
+  "CMakeFiles/sf_core.dir/session.cpp.o.d"
+  "libsf_core.a"
+  "libsf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dap/communicator.cpp" "src/dap/CMakeFiles/sf_dap.dir/communicator.cpp.o" "gcc" "src/dap/CMakeFiles/sf_dap.dir/communicator.cpp.o.d"
+  "/root/repo/src/dap/sharded.cpp" "src/dap/CMakeFiles/sf_dap.dir/sharded.cpp.o" "gcc" "src/dap/CMakeFiles/sf_dap.dir/sharded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/sf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/sf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/sf_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_dap.dir/communicator.cpp.o"
+  "CMakeFiles/sf_dap.dir/communicator.cpp.o.d"
+  "CMakeFiles/sf_dap.dir/sharded.cpp.o"
+  "CMakeFiles/sf_dap.dir/sharded.cpp.o.d"
+  "libsf_dap.a"
+  "libsf_dap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_dap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

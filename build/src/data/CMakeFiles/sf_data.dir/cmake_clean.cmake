@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_data.dir/loader.cpp.o"
+  "CMakeFiles/sf_data.dir/loader.cpp.o.d"
+  "CMakeFiles/sf_data.dir/protein_sample.cpp.o"
+  "CMakeFiles/sf_data.dir/protein_sample.cpp.o.d"
+  "libsf_data.a"
+  "libsf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/executor.cpp" "src/graph/CMakeFiles/sf_graph.dir/executor.cpp.o" "gcc" "src/graph/CMakeFiles/sf_graph.dir/executor.cpp.o.d"
+  "/root/repo/src/graph/fuser.cpp" "src/graph/CMakeFiles/sf_graph.dir/fuser.cpp.o" "gcc" "src/graph/CMakeFiles/sf_graph.dir/fuser.cpp.o.d"
+  "/root/repo/src/graph/ir.cpp" "src/graph/CMakeFiles/sf_graph.dir/ir.cpp.o" "gcc" "src/graph/CMakeFiles/sf_graph.dir/ir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/sf_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

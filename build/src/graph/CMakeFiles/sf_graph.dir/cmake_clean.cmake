@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_graph.dir/executor.cpp.o"
+  "CMakeFiles/sf_graph.dir/executor.cpp.o.d"
+  "CMakeFiles/sf_graph.dir/fuser.cpp.o"
+  "CMakeFiles/sf_graph.dir/fuser.cpp.o.d"
+  "CMakeFiles/sf_graph.dir/ir.cpp.o"
+  "CMakeFiles/sf_graph.dir/ir.cpp.o.d"
+  "libsf_graph.a"
+  "libsf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

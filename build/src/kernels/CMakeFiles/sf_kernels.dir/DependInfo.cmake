@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/attention.cpp" "src/kernels/CMakeFiles/sf_kernels.dir/attention.cpp.o" "gcc" "src/kernels/CMakeFiles/sf_kernels.dir/attention.cpp.o.d"
+  "/root/repo/src/kernels/bf16_kernels.cpp" "src/kernels/CMakeFiles/sf_kernels.dir/bf16_kernels.cpp.o" "gcc" "src/kernels/CMakeFiles/sf_kernels.dir/bf16_kernels.cpp.o.d"
+  "/root/repo/src/kernels/elementwise.cpp" "src/kernels/CMakeFiles/sf_kernels.dir/elementwise.cpp.o" "gcc" "src/kernels/CMakeFiles/sf_kernels.dir/elementwise.cpp.o.d"
+  "/root/repo/src/kernels/gemm.cpp" "src/kernels/CMakeFiles/sf_kernels.dir/gemm.cpp.o" "gcc" "src/kernels/CMakeFiles/sf_kernels.dir/gemm.cpp.o.d"
+  "/root/repo/src/kernels/layernorm.cpp" "src/kernels/CMakeFiles/sf_kernels.dir/layernorm.cpp.o" "gcc" "src/kernels/CMakeFiles/sf_kernels.dir/layernorm.cpp.o.d"
+  "/root/repo/src/kernels/optimizer_kernels.cpp" "src/kernels/CMakeFiles/sf_kernels.dir/optimizer_kernels.cpp.o" "gcc" "src/kernels/CMakeFiles/sf_kernels.dir/optimizer_kernels.cpp.o.d"
+  "/root/repo/src/kernels/softmax.cpp" "src/kernels/CMakeFiles/sf_kernels.dir/softmax.cpp.o" "gcc" "src/kernels/CMakeFiles/sf_kernels.dir/softmax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

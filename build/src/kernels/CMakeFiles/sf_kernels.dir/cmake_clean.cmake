@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_kernels.dir/attention.cpp.o"
+  "CMakeFiles/sf_kernels.dir/attention.cpp.o.d"
+  "CMakeFiles/sf_kernels.dir/bf16_kernels.cpp.o"
+  "CMakeFiles/sf_kernels.dir/bf16_kernels.cpp.o.d"
+  "CMakeFiles/sf_kernels.dir/elementwise.cpp.o"
+  "CMakeFiles/sf_kernels.dir/elementwise.cpp.o.d"
+  "CMakeFiles/sf_kernels.dir/gemm.cpp.o"
+  "CMakeFiles/sf_kernels.dir/gemm.cpp.o.d"
+  "CMakeFiles/sf_kernels.dir/layernorm.cpp.o"
+  "CMakeFiles/sf_kernels.dir/layernorm.cpp.o.d"
+  "CMakeFiles/sf_kernels.dir/optimizer_kernels.cpp.o"
+  "CMakeFiles/sf_kernels.dir/optimizer_kernels.cpp.o.d"
+  "CMakeFiles/sf_kernels.dir/softmax.cpp.o"
+  "CMakeFiles/sf_kernels.dir/softmax.cpp.o.d"
+  "libsf_kernels.a"
+  "libsf_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

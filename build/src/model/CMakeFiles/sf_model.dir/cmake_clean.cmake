@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_model.dir/alphafold.cpp.o"
+  "CMakeFiles/sf_model.dir/alphafold.cpp.o.d"
+  "CMakeFiles/sf_model.dir/metrics.cpp.o"
+  "CMakeFiles/sf_model.dir/metrics.cpp.o.d"
+  "CMakeFiles/sf_model.dir/modules.cpp.o"
+  "CMakeFiles/sf_model.dir/modules.cpp.o.d"
+  "CMakeFiles/sf_model.dir/params.cpp.o"
+  "CMakeFiles/sf_model.dir/params.cpp.o.d"
+  "CMakeFiles/sf_model.dir/rigid.cpp.o"
+  "CMakeFiles/sf_model.dir/rigid.cpp.o.d"
+  "libsf_model.a"
+  "libsf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

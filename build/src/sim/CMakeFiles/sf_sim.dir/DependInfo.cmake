@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/sf_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/sf_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/collective.cpp" "src/sim/CMakeFiles/sf_sim.dir/collective.cpp.o" "gcc" "src/sim/CMakeFiles/sf_sim.dir/collective.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/sf_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/sf_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/gpu_arch.cpp" "src/sim/CMakeFiles/sf_sim.dir/gpu_arch.cpp.o" "gcc" "src/sim/CMakeFiles/sf_sim.dir/gpu_arch.cpp.o.d"
+  "/root/repo/src/sim/ttt.cpp" "src/sim/CMakeFiles/sf_sim.dir/ttt.cpp.o" "gcc" "src/sim/CMakeFiles/sf_sim.dir/ttt.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/sf_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/sf_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

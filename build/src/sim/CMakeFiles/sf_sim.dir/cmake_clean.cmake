@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_sim.dir/cluster.cpp.o"
+  "CMakeFiles/sf_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/collective.cpp.o"
+  "CMakeFiles/sf_sim.dir/collective.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/sf_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/gpu_arch.cpp.o"
+  "CMakeFiles/sf_sim.dir/gpu_arch.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/ttt.cpp.o"
+  "CMakeFiles/sf_sim.dir/ttt.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/workload.cpp.o"
+  "CMakeFiles/sf_sim.dir/workload.cpp.o.d"
+  "libsf_sim.a"
+  "libsf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

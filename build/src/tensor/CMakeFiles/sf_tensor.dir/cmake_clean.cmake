@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/sf_tensor.dir/tensor.cpp.o.d"
+  "libsf_tensor.a"
+  "libsf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_train.dir/checkpoint.cpp.o"
+  "CMakeFiles/sf_train.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/sf_train.dir/data_parallel.cpp.o"
+  "CMakeFiles/sf_train.dir/data_parallel.cpp.o.d"
+  "CMakeFiles/sf_train.dir/evaluator.cpp.o"
+  "CMakeFiles/sf_train.dir/evaluator.cpp.o.d"
+  "CMakeFiles/sf_train.dir/optimizer.cpp.o"
+  "CMakeFiles/sf_train.dir/optimizer.cpp.o.d"
+  "CMakeFiles/sf_train.dir/trainer.cpp.o"
+  "CMakeFiles/sf_train.dir/trainer.cpp.o.d"
+  "libsf_train.a"
+  "libsf_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

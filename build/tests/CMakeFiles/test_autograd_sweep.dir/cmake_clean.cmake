@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autograd_sweep.dir/test_autograd_sweep.cpp.o"
+  "CMakeFiles/test_autograd_sweep.dir/test_autograd_sweep.cpp.o.d"
+  "test_autograd_sweep"
+  "test_autograd_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autograd_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

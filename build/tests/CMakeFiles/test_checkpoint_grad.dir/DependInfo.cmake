@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_checkpoint_grad.cpp" "tests/CMakeFiles/test_checkpoint_grad.dir/test_checkpoint_grad.cpp.o" "gcc" "tests/CMakeFiles/test_checkpoint_grad.dir/test_checkpoint_grad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/sf_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/dap/CMakeFiles/sf_dap.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/sf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/sf_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_grad.dir/test_checkpoint_grad.cpp.o"
+  "CMakeFiles/test_checkpoint_grad.dir/test_checkpoint_grad.cpp.o.d"
+  "test_checkpoint_grad"
+  "test_checkpoint_grad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_grad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dap.dir/test_dap.cpp.o"
+  "CMakeFiles/test_dap.dir/test_dap.cpp.o.d"
+  "test_dap"
+  "test_dap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layernorm.dir/test_layernorm.cpp.o"
+  "CMakeFiles/test_layernorm.dir/test_layernorm.cpp.o.d"
+  "test_layernorm"
+  "test_layernorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layernorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loader.dir/test_loader.cpp.o"
+  "CMakeFiles/test_loader.dir/test_loader.cpp.o.d"
+  "test_loader"
+  "test_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

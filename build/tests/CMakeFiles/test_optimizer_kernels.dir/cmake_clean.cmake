@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimizer_kernels.dir/test_optimizer_kernels.cpp.o"
+  "CMakeFiles/test_optimizer_kernels.dir/test_optimizer_kernels.cpp.o.d"
+  "test_optimizer_kernels"
+  "test_optimizer_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimizer_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

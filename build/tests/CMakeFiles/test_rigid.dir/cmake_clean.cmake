@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rigid.dir/test_rigid.cpp.o"
+  "CMakeFiles/test_rigid.dir/test_rigid.cpp.o.d"
+  "test_rigid"
+  "test_rigid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rigid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
