@@ -1,0 +1,103 @@
+// Time-to-train under a realistic failure regime (fault-tolerance
+// extension of the Figs. 9-11 TTT model).
+//
+// At 128-2080 H100s a pretraining-scale run is statistically guaranteed
+// to hit node failures (cluster MTBF = node MTBF / nodes). This bench
+// replays the ScaleFold configuration (DAP-8, all optimizations, async
+// eval) through the Monte-Carlo failure model at three cluster sizes and
+// reports, as JSON (stdout + BENCH_ttt_failures.json):
+//   - fault-free vs expected-with-failures wall clock,
+//   - MTBF-induced restart count and rolled-back work,
+//   - the analytic (Young/Daly) and simulated-optimal checkpoint
+//     intervals and the TTT achieved at the simulated optimum.
+#include <cstdio>
+#include <string>
+
+#include "sim/calibration.h"
+#include "sim/cluster.h"
+#include "sim/ttt.h"
+
+using namespace sf::sim;
+
+namespace {
+
+TttConfig config_for(int gpus) {
+  TttConfig cfg;
+  cfg.cluster.arch = GpuArch::h100();
+  cfg.cluster.num_gpus = gpus;
+  cfg.cluster.dap = 8;
+  cfg.cluster.toggles = Toggles::all_on();
+  cfg.cluster.sim_steps = 120;
+  cfg.cluster.failure.node_mtbf_hours = calib::kNodeMtbfHours;
+  cfg.cluster.failure.gpus_per_node = calib::kGpusPerNode;
+  cfg.cluster.failure.restart_seconds = calib::kRestartSec;
+  cfg.cluster.failure.checkpoint_write_seconds = calib::kCkptWriteSec;
+  // A from-scratch pretraining campaign (§4.2 schedule length), the run
+  // where the 10-hour headline lives and failures actually land.
+  cfg.total_steps = 55000;
+  cfg.eval_every_steps = calib::kEvalEverySteps;
+  cfg.async_eval = true;  // + kEvalDedicatedGpus dedicated eval GPUs
+  cfg.cached_eval_set = true;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::string json = "{\n  \"bench\": \"ttt_failures\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"node_mtbf_hours\": %.1f,\n  \"gpus_per_node\": %d,\n"
+                "  \"restart_seconds\": %.1f,\n"
+                "  \"checkpoint_write_seconds\": %.1f,\n"
+                "  \"total_steps\": 55000,\n  \"scales\": [\n",
+                calib::kNodeMtbfHours, calib::kGpusPerNode, calib::kRestartSec,
+                calib::kCkptWriteSec);
+  json += buf;
+
+  const int scales[] = {128, 1024, 2080};
+  for (size_t i = 0; i < 3; ++i) {
+    const int gpus = scales[i];
+    TttConfig cfg = config_for(gpus);
+    const int nodes =
+        (gpus + calib::kGpusPerNode - 1) / calib::kGpusPerNode;
+
+    // Expected TTT at the Young/Daly interval (the deployment default)…
+    FailureTttResult daly = time_to_train_under_failures(cfg, 64);
+    // …and at the simulated-optimal interval from the sweep.
+    IntervalSearchResult opt = optimize_checkpoint_interval(cfg, 32);
+
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"gpus\": %d, \"nodes\": %d, \"dap\": 8,\n"
+        "     \"step_seconds\": %.3f,\n"
+        "     \"fault_free_minutes\": %.2f,\n"
+        "     \"ttt_with_failures_minutes\": %.2f,\n"
+        "     \"expected_failures\": %.2f,\n"
+        "     \"lost_work_minutes\": %.2f,\n"
+        "     \"restart_minutes\": %.2f,\n"
+        "     \"checkpoint_overhead_minutes\": %.2f,\n"
+        "     \"daly_interval_steps\": %d,\n"
+        "     \"sim_optimal_interval_steps\": %d,\n"
+        "     \"ttt_at_sim_optimal_minutes\": %.2f,\n"
+        "     \"failure_overhead_pct\": %.2f}%s\n",
+        gpus, nodes, daly.fault_free.step_s, daly.fault_free.total_s / 60,
+        daly.total_s / 60, daly.expected_failures, daly.lost_work_s / 60,
+        daly.restart_s / 60, daly.checkpoint_overhead_s / 60,
+        daly.checkpoint_interval_steps, opt.best_interval_steps,
+        opt.best_total_s / 60,
+        100.0 * (daly.total_s - daly.fault_free.total_s) /
+            daly.fault_free.total_s,
+        i + 1 < 3 ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen("BENCH_ttt_failures.json", "wb")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote BENCH_ttt_failures.json\n");
+  }
+  return 0;
+}

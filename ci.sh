@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: build + test twice — a plain RelWithDebInfo pass, then an
+# ASan+UBSan pass so the loader/fault concurrency paths run under the
+# sanitizers on every change.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc)"
+
+echo "==> plain build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> address,undefined sanitizer build"
+cmake -B build-asan -S . -DSCALEFOLD_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "==> all green"

@@ -1,0 +1,37 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace sf {
+namespace {
+
+std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32_update(uint32_t crc, const void* data, size_t n) {
+  const auto& t = table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) crc = t[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  return ~crc;
+}
+
+uint32_t crc32(const void* data, size_t n) { return crc32_update(0, data, n); }
+
+}  // namespace sf

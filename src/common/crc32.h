@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) over raw bytes.
+//
+// Used by the checkpoint container to detect torn or bit-flipped tensor
+// payloads on load. Table-driven, one byte per step — plenty for
+// checkpoint-sized payloads off the training hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sf {
+
+/// One-shot CRC-32 of a buffer.
+uint32_t crc32(const void* data, size_t n);
+
+/// Streaming update: feed `crc` from a previous call (start from 0).
+uint32_t crc32_update(uint32_t crc, const void* data, size_t n);
+
+}  // namespace sf

@@ -1,0 +1,125 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace sf::fault {
+namespace {
+
+struct SiteState {
+  SiteConfig config;
+  Rng rng{0};
+  SiteStats stats;
+  bool armed = false;
+};
+
+std::mutex g_mu;
+// Pointer (never destroyed) so fault points hit during static teardown of
+// other translation units stay safe.
+std::map<std::string, SiteState>& registry() {
+  static auto* r = new std::map<std::string, SiteState>();
+  return *r;
+}
+
+uint64_t site_seed(const std::string& site, uint64_t user_seed) {
+  // FNV-1a over the site name, mixed with the user seed: deterministic
+  // per-site streams without requiring explicit seeding.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  return h ^ (user_seed * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<int> g_armed_sites{0};
+
+namespace {
+
+void hit_impl(const char* site, const int64_t* context) {
+  SiteConfig cfg;
+  bool fire = false;
+  int64_t fire_ordinal = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    auto it = registry().find(site);
+    if (it == registry().end() || !it->second.armed) return;
+    SiteState& s = it->second;
+    ++s.stats.hits;
+    if (s.stats.hits <= s.config.skip_hits) return;
+    if (s.config.max_fires >= 0 && s.stats.fires >= s.config.max_fires) return;
+    if (s.config.probability < 1.0 && !s.rng.bernoulli(s.config.probability)) {
+      return;
+    }
+    fire = true;
+    fire_ordinal = ++s.stats.fires;
+    cfg = s.config;
+  }
+  if (!fire) return;
+  if (cfg.delay_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg.delay_seconds));
+  }
+  if (!cfg.throws) return;
+  if (cfg.kill) throw WorkerKill(site);
+  std::ostringstream os;
+  os << "injected fault at " << site;
+  if (context) os << " (context " << *context << ")";
+  os << " [fire " << fire_ordinal << "]";
+  throw InjectedFault(site, os.str());
+}
+
+}  // namespace
+
+void hit(const char* site) { hit_impl(site, nullptr); }
+void hit(const char* site, int64_t context) { hit_impl(site, &context); }
+
+}  // namespace detail
+
+void arm(const std::string& site, SiteConfig config) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  SiteState& s = registry()[site];
+  if (!s.armed) detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  s.armed = true;
+  s.config = config;
+  s.rng = Rng(site_seed(site, config.seed));
+  s.stats = SiteStats{};
+}
+
+void arm_once(const std::string& site, int64_t on_hit) {
+  SF_CHECK(on_hit >= 1) << "arm_once hit ordinal is 1-based";
+  SiteConfig cfg;
+  cfg.skip_hits = on_hit - 1;
+  cfg.max_fires = 1;
+  arm(site, cfg);
+}
+
+void disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = registry().find(site);
+  if (it == registry().end() || !it->second.armed) return;
+  it->second.armed = false;
+  detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (auto& [name, s] : registry()) {
+    if (s.armed) detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+    s.armed = false;
+  }
+  registry().clear();
+}
+
+SiteStats stats(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = registry().find(site);
+  return it == registry().end() ? SiteStats{} : it->second.stats;
+}
+
+}  // namespace sf::fault

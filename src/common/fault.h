@@ -1,0 +1,112 @@
+// Deterministic, seeded fault injection.
+//
+// Production code marks named injection sites with
+//
+//   SF_FAULT_POINT("loader.prep", batch_index);
+//
+// A disarmed site costs one relaxed atomic load (the common case: nothing
+// armed anywhere). Tests and benches arm sites with per-site triggers —
+// fire on the Nth hit, fire with probability p from a seeded stream, fire
+// at most k times, optionally sleeping before throwing — so every failure
+// path is exercisable and exactly reproducible from a seed.
+//
+// Two exception types are thrown by a firing site:
+//   InjectedFault — an ordinary injected error; recoverable paths (e.g.
+//                   the loader's per-batch retry) treat it like any other
+//                   preparation failure.
+//   WorkerKill    — simulates a crashed thread; cooperating loops (e.g.
+//                   PrefetchLoader workers) catch it and exit the thread,
+//                   leaving their in-flight work to be reclaimed by the
+//                   survivors. Armed via SiteConfig::kill = true.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace sf::fault {
+
+/// Thrown by a firing fault point (unless configured to kill).
+class InjectedFault : public Error {
+ public:
+  InjectedFault(std::string site, const std::string& what)
+      : Error(what), site_(std::move(site)) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Thrown by a firing fault point armed with `kill = true`. Not derived
+/// from InjectedFault: retry loops must not swallow a simulated crash.
+class WorkerKill : public Error {
+ public:
+  explicit WorkerKill(std::string site)
+      : Error("injected worker kill at " + site), site_(std::move(site)) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+struct SiteConfig {
+  /// Probability that an eligible hit fires. 1.0 = always.
+  double probability = 1.0;
+  /// Hits to let pass before the site becomes eligible (0 = immediately).
+  int64_t skip_hits = 0;
+  /// Stop firing after this many fires; < 0 = unlimited.
+  int64_t max_fires = 1;
+  /// Sleep this long when firing, before throwing (simulates a hang).
+  double delay_seconds = 0.0;
+  /// Throw WorkerKill instead of InjectedFault (simulated thread crash).
+  bool kill = false;
+  /// If false, the fire only delays/counts and does not throw at all.
+  bool throws = true;
+  /// Seed for the per-site probability stream; 0 derives one from the
+  /// site name so runs are reproducible without explicit seeding.
+  uint64_t seed = 0;
+};
+
+/// Arm (or re-arm, resetting counters) a site.
+void arm(const std::string& site, SiteConfig config = {});
+
+/// Convenience: fire exactly once, on the nth hit (1-based).
+void arm_once(const std::string& site, int64_t on_hit = 1);
+
+/// Disarm one site (its stats remain readable until reset()).
+void disarm(const std::string& site);
+
+/// Disarm every site and clear all stats. Tests should call this in
+/// teardown so sites never leak across test cases.
+void reset();
+
+struct SiteStats {
+  int64_t hits = 0;   ///< times the site was reached while armed
+  int64_t fires = 0;  ///< times it actually fired
+};
+SiteStats stats(const std::string& site);
+
+namespace detail {
+extern std::atomic<int> g_armed_sites;
+/// Slow path behind SF_FAULT_POINT; throws if the site fires.
+void hit(const char* site);
+void hit(const char* site, int64_t context);
+}  // namespace detail
+
+/// True if any site is armed (fast path, lock-free).
+inline bool any_armed() {
+  return detail::g_armed_sites.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace sf::fault
+
+/// Named fault-injection site. Optional second argument is an integer
+/// context (e.g. a batch index) included in the thrown message.
+#define SF_FAULT_POINT(...)                                \
+  do {                                                     \
+    if (::sf::fault::any_armed()) {                        \
+      ::sf::fault::detail::hit(__VA_ARGS__);               \
+    }                                                      \
+  } while (0)

@@ -15,10 +15,28 @@
 // The paper notes the resulting order perturbation did not harm
 // convergence; tests here verify exactly-once delivery and bounded
 // reordering (a batch can only be overtaken while it is in flight).
+//
+// Fault tolerance: at the scale of ScaleFold's time-to-train runs (up to
+// 2080 GPUs) preparation failures and worker crashes are statistically
+// certain, so the loader recovers instead of dying:
+//   - a failed preparation is retried with exponential backoff
+//     (max_retries); only after retries are exhausted does the *first*
+//     error surface at next(), tagged with the failing batch index;
+//   - with prep_timeout > 0, a batch whose preparation exceeds the
+//     deadline (hung or crashed worker) is requeued to a healthy worker;
+//     whichever attempt finishes first wins and late duplicates are
+//     dropped, preserving exactly-once delivery with the same bounded
+//     reordering window (requeues do not grow the in-flight budget);
+//   - injection sites "loader.prep" (inside the retry scope) and
+//     "loader.worker.kill" (simulated thread crash; the worker exits and
+//     its claimed batch is reclaimed at the deadline) make every one of
+//     these paths testable via sf::fault.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <map>
@@ -41,6 +59,13 @@ struct LoaderConfig {
   /// Max batches scheduled but not yet yielded (prefetch depth).
   int max_in_flight = 4;
   YieldPolicy policy = YieldPolicy::kReadyFirst;
+  /// Re-attempts after a failed preparation before the error is fatal.
+  int max_retries = 2;
+  /// First backoff sleep after a failed preparation; doubles per attempt.
+  double retry_backoff_seconds = 2e-3;
+  /// Deadline for one preparation attempt; an expired batch is requeued
+  /// to another worker. <= 0 disables the watchdog (default).
+  double prep_timeout_seconds = 0.0;
 };
 
 struct LoaderStats {
@@ -48,6 +73,11 @@ struct LoaderStats {
   int64_t batches_yielded = 0;
   std::vector<int64_t> yield_order;     ///< dataset indices in yield order
   std::vector<double> prep_seconds;     ///< per-batch preparation time
+  int64_t retries = 0;             ///< preparation re-attempts after failures
+  int64_t timeouts = 0;            ///< attempts that exceeded prep_timeout
+  int64_t requeues = 0;            ///< timed-out batches re-claimed by a worker
+  int64_t dropped_duplicates = 0;  ///< late results for already-done batches
+  int64_t worker_deaths = 0;       ///< workers lost to an injected crash
 };
 
 /// Prefetching loader over an index range [0, num_batches).
@@ -55,7 +85,9 @@ struct LoaderStats {
 /// `make_batch` is the preparation function (normally
 /// SyntheticProteinDataset::prepare_batch, optionally wrapped with delay
 /// injection for tests). It is invoked concurrently from worker threads
-/// and must be thread-safe.
+/// and must be thread-safe. After a timeout-requeue it may be invoked
+/// more than once for the same index (idempotence required); the loader
+/// still yields that index exactly once.
 class PrefetchLoader {
  public:
   using BatchFn = std::function<Batch(int64_t index)>;
@@ -69,28 +101,44 @@ class PrefetchLoader {
   /// True while batches remain.
   bool has_next() const;
 
-  /// Blocks per the yield policy and returns the next batch. If a worker's
-  /// preparation function threw, that exception is rethrown here (the
-  /// PyTorch DataLoader contract: worker failures surface on the consumer).
+  /// Blocks per the yield policy and returns the next batch. If a batch's
+  /// preparation failed (after retries), the first such error is rethrown
+  /// here with the failing batch index in the message (the PyTorch
+  /// DataLoader contract: worker failures surface on the consumer).
   Batch next();
 
+  /// Counters, by reference. Only stable once the stream is drained and
+  /// no worker can still be finishing a requeued duplicate; concurrent
+  /// readers should use stats_snapshot().
   const LoaderStats& stats() const { return stats_; }
 
+  /// Copy of the counters taken under the loader lock (safe while
+  /// workers are still running).
+  LoaderStats stats_snapshot() const;
+
  private:
+  using Clock = std::chrono::steady_clock;
+
   void worker_loop();
+  /// Requeues in-progress batches whose deadline passed. Lock held.
+  void reclaim_expired_locked();
 
   BatchFn make_batch_;
   const int64_t num_batches_;
   const LoaderConfig config_;
+  std::chrono::microseconds poll_{};  ///< watchdog wake-up period
 
   mutable std::mutex mu_;
   std::condition_variable cv_ready_;  ///< consumer waits for batches
-  std::condition_variable cv_space_;  ///< workers wait for in-flight budget
+  std::condition_variable cv_space_;  ///< workers wait for budget/requeues
   std::map<int64_t, Batch> ready_;    ///< ordered => min-index pop is O(log n)
+  std::deque<int64_t> requeue_;       ///< timed-out indices awaiting re-claim
+  std::map<int64_t, Clock::time_point> in_progress_;  ///< index -> deadline
+  std::vector<char> done_;            ///< ready-or-yielded (duplicate guard)
   int64_t next_to_schedule_ = 0;
   int64_t next_in_order_ = 0;         ///< next index for kInOrder yield
   int64_t yielded_ = 0;
-  int64_t in_flight_ = 0;
+  int64_t in_flight_ = 0;             ///< distinct indices claimed, not yielded
   bool stop_ = false;
   std::exception_ptr worker_error_;
 

@@ -149,4 +149,20 @@ inline constexpr double kEvalDiskFactor = 2.8;
 inline constexpr int kEvalEverySteps = 40;
 inline constexpr int kEvalDedicatedGpus = 32;  // 2080 = 2048 train + 32 eval
 
+// ---- Failure model (fault-tolerant TTT) ------------------------------------
+// Per-node MTBF: published failure telemetry for large GPU training
+// clusters clusters around one hardware-attributable interruption per
+// node every few months once ECC, NVLink, NIC and host failures are
+// combined; at 260 nodes (2080 GPUs / 8) that is roughly one failure
+// every 8-9 hours of wall clock — guaranteed to hit a 10-hour run.
+inline constexpr double kNodeMtbfHours = 2190.0;  // ~3 months per node
+inline constexpr int kGpusPerNode = 8;
+// Restart cost: failure detection + job reschedule + process/NCCL init +
+// checkpoint reload. Dominated by the ~2 min init/compile (§4.2) plus
+// scheduler latency.
+inline constexpr double kRestartSec = 300.0;
+// Synchronous checkpoint write (params + optimizer state to the parallel
+// FS); the training step pauses for it.
+inline constexpr double kCkptWriteSec = 15.0;
+
 }  // namespace sf::sim::calib

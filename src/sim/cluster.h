@@ -45,11 +45,28 @@ struct Toggles {
   }
 };
 
+/// MTBF-driven node-failure model for time-to-train under faults.
+/// Failures arrive as a Poisson process over the whole cluster (rate =
+/// nodes / node MTBF); each failure rolls the run back to the last
+/// checkpoint and costs a restart. Disabled by default.
+struct FailureModel {
+  double node_mtbf_hours = 0.0;  ///< per-node MTBF; <= 0 disables failures
+  int gpus_per_node = 8;
+  /// Detection + reschedule + init/compile + checkpoint reload.
+  double restart_seconds = 300.0;
+  /// Synchronous checkpoint write pause.
+  double checkpoint_write_seconds = 15.0;
+  /// Steps between checkpoints; 0 derives the Young/Daly optimum from
+  /// the cluster failure rate and the write cost.
+  int checkpoint_interval_steps = 0;
+};
+
 struct ClusterConfig {
   GpuArch arch = GpuArch::h100();
   int num_gpus = 128;
   int dap = 1;  ///< ranks cooperating per sample (1 = pure DP)
   Toggles toggles;
+  FailureModel failure;
   uint64_t seed = 2024;
   int sim_steps = 300;  ///< steps sampled for noise statistics
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 #include "sim/calibration.h"
@@ -53,6 +54,111 @@ TttResult time_to_train(const TttConfig& cfg) {
   }
   r.total_s = r.init_s + r.train_s + r.eval_s;
   return r;
+}
+
+FailureTttResult time_to_train_under_failures(const TttConfig& cfg,
+                                              int trials) {
+  SF_CHECK(trials >= 1);
+  FailureTttResult r;
+  r.fault_free = time_to_train(cfg);
+  r.trials = trials;
+  const FailureModel& fm = cfg.cluster.failure;
+  if (fm.node_mtbf_hours <= 0) {
+    r.total_s = r.fault_free.total_s;
+    return r;
+  }
+  SF_CHECK(fm.gpus_per_node >= 1);
+  SF_CHECK(fm.restart_seconds >= 0);
+  SF_CHECK(fm.checkpoint_write_seconds >= 0);
+
+  const int nodes =
+      (cfg.cluster.num_gpus + fm.gpus_per_node - 1) / fm.gpus_per_node;
+  const double lambda = nodes / (fm.node_mtbf_hours * 3600.0);
+  const double cluster_mtbf_s = 1.0 / lambda;
+  // Young/Daly first-order optimum: sqrt(2 * write_cost * MTBF).
+  r.daly_interval_s =
+      std::sqrt(2.0 * std::max(1e-3, fm.checkpoint_write_seconds) *
+                cluster_mtbf_s);
+
+  const double step_s = std::max(1e-9, r.fault_free.step_s);
+  const double interval_s = fm.checkpoint_interval_steps > 0
+                                ? fm.checkpoint_interval_steps * step_s
+                                : r.daly_interval_s;
+  r.checkpoint_interval_s = interval_s;
+  r.checkpoint_interval_steps =
+      std::max(1, static_cast<int>(interval_s / step_s + 0.5));
+
+  // Work on the wall-clock critical path after init; the failure process
+  // runs in wall time (lost checkpoint-write progress is rolled back with
+  // the work segment it belongs to).
+  const double W = r.fault_free.train_s + r.fault_free.eval_s;
+  double sum_total = 0, sum_failures = 0, sum_lost = 0, sum_restart = 0,
+         sum_ckpt = 0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(cfg.cluster.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+    double wall = r.fault_free.init_s;
+    double saved = 0;
+    double next_fail = wall + rng.exponential(lambda);
+    int failures = 0;
+    double lost = 0, restart = 0, ckpt = 0;
+    while (saved < W) {
+      const double seg_work = std::min(interval_s, W - saved);
+      const bool final_seg = saved + seg_work >= W;
+      // No checkpoint after the final segment: the run is done.
+      const double seg = seg_work + (final_seg ? 0.0 : fm.checkpoint_write_seconds);
+      if (wall + seg <= next_fail) {
+        wall += seg;
+        saved += seg_work;
+        if (!final_seg) ckpt += fm.checkpoint_write_seconds;
+      } else {
+        // Everything since the last checkpoint is rolled back, including a
+        // partially written checkpoint if the failure lands mid-write.
+        lost += next_fail - wall;
+        ++failures;
+        wall = next_fail + fm.restart_seconds;
+        restart += fm.restart_seconds;
+        next_fail = wall + rng.exponential(lambda);
+        if (failures > 100000) break;  // pathological configs: bail out
+      }
+    }
+    sum_total += wall;
+    sum_failures += failures;
+    sum_lost += lost;
+    sum_restart += restart;
+    sum_ckpt += ckpt;
+  }
+  r.total_s = sum_total / trials;
+  r.expected_failures = sum_failures / trials;
+  r.lost_work_s = sum_lost / trials;
+  r.restart_s = sum_restart / trials;
+  r.checkpoint_overhead_s = sum_ckpt / trials;
+  return r;
+}
+
+IntervalSearchResult optimize_checkpoint_interval(const TttConfig& cfg,
+                                                  int trials) {
+  SF_CHECK(cfg.cluster.failure.node_mtbf_hours > 0)
+      << "interval search needs an active failure model";
+  // One probe run supplies the Daly anchor and the step time.
+  FailureTttResult probe = time_to_train_under_failures(cfg, 1);
+  const double step_s = std::max(1e-9, probe.fault_free.step_s);
+
+  IntervalSearchResult out;
+  out.best_total_s = std::numeric_limits<double>::infinity();
+  TttConfig c = cfg;
+  for (double mult : {0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0}) {
+    const int steps = std::max(
+        1, static_cast<int>(probe.daly_interval_s * mult / step_s + 0.5));
+    c.cluster.failure.checkpoint_interval_steps = steps;
+    FailureTttResult res = time_to_train_under_failures(c, trials);
+    out.curve.emplace_back(res.checkpoint_interval_s, res.total_s);
+    if (res.total_s < out.best_total_s) {
+      out.best_total_s = res.total_s;
+      out.best_interval_s = res.checkpoint_interval_s;
+      out.best_interval_steps = res.checkpoint_interval_steps;
+    }
+  }
+  return out;
 }
 
 float pretraining_lddt_at_step(int64_t step) {

@@ -8,6 +8,9 @@
 // pretraining schedule (bs128 for 5000 steps, then bs256).
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "sim/cluster.h"
 
 namespace sf::sim {
@@ -57,5 +60,46 @@ struct PretrainingResult {
 };
 PretrainingResult simulate_pretraining(int64_t total_steps = 55000,
                                        uint64_t seed = 7);
+
+// ---- Time-to-train under failures ------------------------------------------
+//
+// At 128-2080 GPUs a time-to-train run will see node failures
+// (cluster MTBF = node MTBF / nodes); the run then rolls back to the
+// last checkpoint and pays a restart. The Monte-Carlo model below plays
+// the fault-free run (init + train + critical-path eval) against a seeded
+// Poisson failure process with periodic checkpoint pauses, and reports
+// the expected wall clock plus the checkpoint interval that minimizes it.
+
+struct FailureTttResult {
+  TttResult fault_free;          ///< the underlying no-failure run
+  double total_s = 0;            ///< expected wall clock with failures
+  double expected_failures = 0;  ///< mean failures per run
+  double lost_work_s = 0;        ///< mean time rolled back (work + partial
+                                 ///< checkpoint writes)
+  double restart_s = 0;          ///< mean time spent restarting
+  double checkpoint_overhead_s = 0;  ///< mean time writing checkpoints
+  double checkpoint_interval_s = 0;  ///< interval actually simulated
+  int checkpoint_interval_steps = 0;
+  double daly_interval_s = 0;    ///< analytic Young/Daly optimum
+  int trials = 0;
+};
+
+/// Expected TTT under cfg.cluster.failure. With failures disabled the
+/// result degenerates to the fault-free run. Deterministic in
+/// (cfg.cluster.seed, trials).
+FailureTttResult time_to_train_under_failures(const TttConfig& cfg,
+                                              int trials = 64);
+
+/// Sweep checkpoint intervals around the Young/Daly estimate and return
+/// the simulated-optimal one (argmin of expected TTT).
+struct IntervalSearchResult {
+  double best_interval_s = 0;
+  int best_interval_steps = 0;
+  double best_total_s = 0;
+  /// (interval_s, expected_total_s) for every point probed.
+  std::vector<std::pair<double, double>> curve;
+};
+IntervalSearchResult optimize_checkpoint_interval(const TttConfig& cfg,
+                                                  int trials = 32);
 
 }  // namespace sf::sim

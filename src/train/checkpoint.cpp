@@ -1,16 +1,31 @@
 #include "train/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <sstream>
 #include <vector>
 
-#include "common/error.h"
+#include "common/crc32.h"
+#include "common/fault.h"
+#include "common/logging.h"
 
 namespace sf::train {
 namespace {
 
-constexpr uint64_t kMagic = 0x5343414c45464f4cULL;  // "SCALEFOL"
+namespace fs = std::filesystem;
+
+// Container magics. v1 (legacy, no CRC) is still readable; v2 adds the
+// version field, per-tensor CRC32 and an end marker.
+constexpr uint64_t kMagicV1 = 0x5343414c45464f4cULL;  // "SCALEFOL"
+constexpr uint64_t kMagicV2 = 0x5346434b50543032ULL;  // "SFCKPT02"
+constexpr uint32_t kVersion = 2;
+constexpr uint64_t kEndMarker = ~kMagicV2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -19,12 +34,20 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-void write_bytes(std::FILE* f, const void* p, size_t n) {
-  SF_CHECK(std::fwrite(p, 1, n, f) == n) << "checkpoint write failed";
+[[noreturn]] void fail(CheckpointError::Kind kind, const std::string& msg) {
+  throw CheckpointError(kind, "checkpoint: " + msg);
 }
 
-void read_bytes(std::FILE* f, void* p, size_t n) {
-  SF_CHECK(std::fread(p, 1, n, f) == n) << "checkpoint read failed";
+void write_bytes(std::FILE* f, const void* p, size_t n) {
+  if (std::fwrite(p, 1, n, f) != n) {
+    fail(CheckpointError::Kind::kOpen, "write failed");
+  }
+}
+
+void read_bytes(std::FILE* f, void* p, size_t n, const std::string& path) {
+  if (std::fread(p, 1, n, f) != n) {
+    fail(CheckpointError::Kind::kTruncated, "truncated file " + path);
+  }
 }
 
 template <typename T>
@@ -33,50 +56,149 @@ void write_pod(std::FILE* f, const T& v) {
 }
 
 template <typename T>
-T read_pod(std::FILE* f) {
+T read_pod(std::FILE* f, const std::string& path) {
   T v;
-  read_bytes(f, &v, sizeof(T));
+  read_bytes(f, &v, sizeof(T), path);
   return v;
+}
+
+/// fsync a directory so a freshly renamed entry survives a crash.
+void sync_dir(const std::string& dir) {
+  int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+std::map<std::string, Tensor> load_tensors_v1(std::FILE* f,
+                                              const std::string& path) {
+  uint64_t count = read_pod<uint64_t>(f, path);
+  std::map<std::string, Tensor> out;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = read_pod<uint64_t>(f, path);
+    if (name_len >= 4096) {
+      fail(CheckpointError::Kind::kCorrupt,
+           "implausible name length in " + path);
+    }
+    std::string name(name_len, '\0');
+    read_bytes(f, name.data(), name_len, path);
+    uint64_t rank = read_pod<uint64_t>(f, path);
+    if (rank > 8) {
+      fail(CheckpointError::Kind::kCorrupt, "implausible tensor rank in " + path);
+    }
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<int64_t>(f, path);
+    Tensor t(shape);
+    read_bytes(f, t.data(), sizeof(float) * t.numel(), path);
+    out.emplace(std::move(name), std::move(t));
+  }
+  return out;
+}
+
+std::map<std::string, Tensor> load_tensors_v2(std::FILE* f,
+                                              const std::string& path) {
+  uint32_t version = read_pod<uint32_t>(f, path);
+  if (version != kVersion) {
+    fail(CheckpointError::Kind::kCorrupt,
+         "unsupported container version " + std::to_string(version) + " in " +
+             path);
+  }
+  uint64_t count = read_pod<uint64_t>(f, path);
+  if (count > (1ULL << 32)) {
+    fail(CheckpointError::Kind::kCorrupt, "implausible tensor count in " + path);
+  }
+  std::map<std::string, Tensor> out;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = read_pod<uint64_t>(f, path);
+    if (name_len >= 4096) {
+      fail(CheckpointError::Kind::kCorrupt,
+           "implausible name length in " + path);
+    }
+    std::string name(name_len, '\0');
+    read_bytes(f, name.data(), name_len, path);
+    uint64_t rank = read_pod<uint64_t>(f, path);
+    if (rank > 8) {
+      fail(CheckpointError::Kind::kCorrupt, "implausible tensor rank in " + path);
+    }
+    Shape shape(rank);
+    for (auto& d : shape) {
+      d = read_pod<int64_t>(f, path);
+      if (d < 0 || d > (1LL << 40)) {
+        fail(CheckpointError::Kind::kCorrupt, "implausible dim in " + path);
+      }
+    }
+    uint32_t stored_crc = read_pod<uint32_t>(f, path);
+    uint64_t data_bytes = read_pod<uint64_t>(f, path);
+    Tensor t(shape);
+    if (data_bytes != sizeof(float) * static_cast<uint64_t>(t.numel())) {
+      fail(CheckpointError::Kind::kCorrupt,
+           "payload size mismatch for " + name + " in " + path);
+    }
+    read_bytes(f, t.data(), data_bytes, path);
+    uint32_t crc = crc32(t.data(), data_bytes);
+    if (crc != stored_crc) {
+      fail(CheckpointError::Kind::kCorrupt,
+           "CRC mismatch for tensor " + name + " in " + path);
+    }
+    out.emplace(std::move(name), std::move(t));
+  }
+  if (read_pod<uint64_t>(f, path) != kEndMarker) {
+    fail(CheckpointError::Kind::kCorrupt, "missing end marker in " + path);
+  }
+  return out;
 }
 
 }  // namespace
 
 void save_tensors(const std::string& path,
                   const std::map<std::string, Tensor>& tensors) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  SF_CHECK(f != nullptr) << "cannot open for write:" << path;
-  write_pod<uint64_t>(f.get(), kMagic);
-  write_pod<uint64_t>(f.get(), tensors.size());
-  for (const auto& [name, t] : tensors) {
-    write_pod<uint64_t>(f.get(), name.size());
-    write_bytes(f.get(), name.data(), name.size());
-    write_pod<uint64_t>(f.get(), t.shape().size());
-    for (int64_t d : t.shape()) write_pod<int64_t>(f.get(), d);
-    write_bytes(f.get(), t.data(), sizeof(float) * t.numel());
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) fail(CheckpointError::Kind::kOpen, "cannot open for write: " + tmp);
+    try {
+      write_pod<uint64_t>(f.get(), kMagicV2);
+      write_pod<uint32_t>(f.get(), kVersion);
+      write_pod<uint64_t>(f.get(), tensors.size());
+      for (const auto& [name, t] : tensors) {
+        write_pod<uint64_t>(f.get(), name.size());
+        write_bytes(f.get(), name.data(), name.size());
+        write_pod<uint64_t>(f.get(), t.shape().size());
+        for (int64_t d : t.shape()) write_pod<int64_t>(f.get(), d);
+        const uint64_t data_bytes = sizeof(float) * t.numel();
+        write_pod<uint32_t>(f.get(), crc32(t.data(), data_bytes));
+        write_pod<uint64_t>(f.get(), data_bytes);
+        write_bytes(f.get(), t.data(), data_bytes);
+      }
+      write_pod<uint64_t>(f.get(), kEndMarker);
+      // A crash here (before the rename below) must leave the previous
+      // checkpoint untouched — exercised via this injection site.
+      SF_FAULT_POINT("checkpoint.write");
+      if (std::fflush(f.get()) != 0) {
+        fail(CheckpointError::Kind::kOpen, "flush failed: " + tmp);
+      }
+      ::fsync(::fileno(f.get()));
+    } catch (...) {
+      f.reset();
+      std::remove(tmp.c_str());
+      throw;
+    }
   }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail(CheckpointError::Kind::kOpen, "rename failed: " + tmp + " -> " + path);
+  }
+  sync_dir(fs::path(path).parent_path().string());
 }
 
 std::map<std::string, Tensor> load_tensors(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
-  SF_CHECK(f != nullptr) << "cannot open for read:" << path;
-  SF_CHECK(read_pod<uint64_t>(f.get()) == kMagic)
-      << "bad checkpoint magic in" << path;
-  uint64_t count = read_pod<uint64_t>(f.get());
-  std::map<std::string, Tensor> out;
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t name_len = read_pod<uint64_t>(f.get());
-    SF_CHECK(name_len < 4096) << "implausible name length";
-    std::string name(name_len, '\0');
-    read_bytes(f.get(), name.data(), name_len);
-    uint64_t rank = read_pod<uint64_t>(f.get());
-    SF_CHECK(rank <= 8) << "implausible tensor rank";
-    Shape shape(rank);
-    for (auto& d : shape) d = read_pod<int64_t>(f.get());
-    Tensor t(shape);
-    read_bytes(f.get(), t.data(), sizeof(float) * t.numel());
-    out.emplace(std::move(name), std::move(t));
-  }
-  return out;
+  if (!f) fail(CheckpointError::Kind::kOpen, "cannot open for read: " + path);
+  uint64_t magic = read_pod<uint64_t>(f.get(), path);
+  if (magic == kMagicV2) return load_tensors_v2(f.get(), path);
+  if (magic == kMagicV1) return load_tensors_v1(f.get(), path);
+  fail(CheckpointError::Kind::kCorrupt, "bad magic in " + path);
 }
 
 void save_checkpoint(const std::string& path, const model::ParamStore& store) {
@@ -87,13 +209,82 @@ void save_checkpoint(const std::string& path, const model::ParamStore& store) {
 
 void load_checkpoint(const std::string& path, model::ParamStore& store) {
   auto tensors = load_tensors(path);
+  // Validate the full plan before the first write so a bad file cannot
+  // leave the store half-updated.
   for (const auto& [name, v] : store.named()) {
     auto it = tensors.find(name);
-    SF_CHECK(it != tensors.end()) << "checkpoint missing parameter" << name;
-    SF_CHECK(it->second.shape() == v.shape())
-        << "checkpoint shape mismatch for" << name;
-    const_cast<autograd::Var&>(v).mutable_value().copy_from(it->second);
+    if (it == tensors.end()) {
+      fail(CheckpointError::Kind::kMissingParam,
+           "missing parameter " + name + " in " + path);
+    }
+    if (!(it->second.shape() == v.shape())) {
+      fail(CheckpointError::Kind::kShapeMismatch,
+           "shape mismatch for " + name + " in " + path);
+    }
   }
+  for (const auto& [name, v] : store.named()) {
+    const_cast<autograd::Var&>(v).mutable_value().copy_from(
+        tensors.at(name));
+  }
+}
+
+CheckpointManager::CheckpointManager(std::string dir, int keep_last)
+    : dir_(std::move(dir)), keep_last_(keep_last) {
+  SF_CHECK(keep_last_ >= 1);
+  fs::create_directories(dir_);
+}
+
+std::string CheckpointManager::path_for_step(int64_t step) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt_%010lld.bin",
+                static_cast<long long>(step));
+  return (fs::path(dir_) / buf).string();
+}
+
+std::vector<int64_t> CheckpointManager::list_steps() const {
+  std::vector<int64_t> steps;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 10 || name.rfind("ckpt_", 0) != 0 ||
+        name.substr(name.size() - 4) != ".bin") {
+      continue;
+    }
+    const std::string digits = name.substr(5, name.size() - 9);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    steps.push_back(std::stoll(digits));
+  }
+  std::sort(steps.rbegin(), steps.rend());
+  return steps;
+}
+
+std::string CheckpointManager::save(
+    int64_t step, const std::map<std::string, Tensor>& tensors) {
+  SF_CHECK(step >= 0);
+  const std::string path = path_for_step(step);
+  save_tensors(path, tensors);
+  auto steps = list_steps();  // newest first
+  for (size_t i = static_cast<size_t>(keep_last_); i < steps.size(); ++i) {
+    std::error_code ec;
+    fs::remove(path_for_step(steps[i]), ec);
+  }
+  return path;
+}
+
+int64_t CheckpointManager::load_latest(std::map<std::string, Tensor>& out) const {
+  for (int64_t step : list_steps()) {
+    try {
+      out = load_tensors(path_for_step(step));
+      return step;
+    } catch (const CheckpointError& e) {
+      SF_LOG(kWarn) << "skipping invalid checkpoint " << path_for_step(step)
+                    << ": " << e.what();
+    }
+  }
+  return -1;
 }
 
 }  // namespace sf::train

@@ -1,30 +1,97 @@
-// Binary tensor checkpointing (named-tensor container format).
+// Crash-consistent binary tensor checkpointing.
 //
 // Used for: from-scratch vs from-checkpoint experiments (MLPerf HPC
 // formulates OpenFold as partial training from a predefined checkpoint),
-// and the disk-backed evaluation-set mode of §3.4.
+// the disk-backed evaluation-set mode of §3.4, and fault-tolerant
+// auto-resume of interrupted time-to-train runs.
+//
+// Durability model:
+//   - save_tensors writes to a temporary file in the target directory,
+//     fsyncs it (and the directory), then atomically renames it over the
+//     destination: a crash at any point leaves either the complete old
+//     checkpoint or the complete new one, never a torn file;
+//   - the on-disk container (format v2) carries a versioned header, a
+//     per-tensor CRC32 of the payload, and an end-of-file marker, so
+//     load_tensors can distinguish truncation from bit corruption;
+//   - CheckpointManager keeps a rotating step-numbered directory and, on
+//     load, falls back past corrupt/truncated files to the newest valid
+//     checkpoint.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/error.h"
 #include "model/params.h"
 #include "tensor/tensor.h"
 
 namespace sf::train {
 
-/// Write a named-tensor map to a binary file. Overwrites.
+/// Typed error for checkpoint I/O and validation failures.
+class CheckpointError : public Error {
+ public:
+  enum class Kind {
+    kOpen,           ///< cannot open/create/rename the file
+    kTruncated,      ///< file ends mid-record
+    kCorrupt,        ///< bad magic, implausible field, or CRC mismatch
+    kShapeMismatch,  ///< tensor shape differs from the destination store
+    kMissingParam,   ///< store parameter absent from the file
+  };
+  CheckpointError(Kind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Write a named-tensor map to a binary file, crash-consistently
+/// (tmp file + fsync + atomic rename). Overwrites.
+/// Injection site "checkpoint.write" fires after the payload is written
+/// but before it is made durable (simulates a crash mid-save).
 void save_tensors(const std::string& path,
                   const std::map<std::string, Tensor>& tensors);
 
-/// Read a named-tensor map back. Throws sf::Error on malformed files.
+/// Read a named-tensor map back. Accepts the current (v2, CRC-checked)
+/// and the legacy (v1) container. Throws CheckpointError on malformed
+/// files.
 std::map<std::string, Tensor> load_tensors(const std::string& path);
 
 /// Save all parameters of a store.
 void save_checkpoint(const std::string& path, const model::ParamStore& store);
 
 /// Load parameters into an existing store (shapes must match; every
-/// parameter in the store must be present in the file).
+/// parameter in the store must be present in the file). The whole file is
+/// read and validated first: on any failure the store is left untouched.
 void load_checkpoint(const std::string& path, model::ParamStore& store);
+
+/// Rotating directory of step-numbered checkpoints ("ckpt_<step>.bin")
+/// with newest-valid fallback on load.
+class CheckpointManager {
+ public:
+  /// `keep_last` newest checkpoints survive pruning (>= 1).
+  explicit CheckpointManager(std::string dir, int keep_last = 3);
+
+  const std::string& dir() const { return dir_; }
+  std::string path_for_step(int64_t step) const;
+
+  /// Atomically write step `step`, then prune all but the newest
+  /// `keep_last` checkpoints. Returns the written path.
+  std::string save(int64_t step, const std::map<std::string, Tensor>& tensors);
+
+  /// Steps with a checkpoint file present, newest first.
+  std::vector<int64_t> list_steps() const;
+
+  /// Load the newest checkpoint that passes validation, skipping corrupt
+  /// or truncated files with a warning. Fills `out` and returns its step;
+  /// returns -1 (out untouched) when no valid checkpoint exists.
+  int64_t load_latest(std::map<std::string, Tensor>& out) const;
+
+ private:
+  std::string dir_;
+  int keep_last_;
+};
 
 }  // namespace sf::train

@@ -78,6 +78,62 @@ void Optimizer::step(float lr_scale) {
   }
 }
 
+float Optimizer::grad_norm() {
+  auto chunks = build_chunks();
+  std::vector<const float*> buckets;
+  std::vector<int64_t> sizes;
+  buckets.reserve(chunks.size());
+  sizes.reserve(chunks.size());
+  for (const auto& c : chunks) {
+    buckets.push_back(c.grad);
+    sizes.push_back(c.n);
+  }
+  return kernels::grad_norm_bucketed(buckets, sizes);
+}
+
+std::map<std::string, Tensor> Optimizer::export_state() const {
+  SF_CHECK(!swa_swapped_) << "export_state() while SWA weights are swapped in";
+  std::map<std::string, Tensor> state;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const std::string suffix = std::to_string(i);
+    // Clone: the exported map must be a snapshot, not an alias of the
+    // live state (Tensor copies share the buffer).
+    state.emplace("m." + suffix, m_[i].clone());
+    state.emplace("v." + suffix, v_[i].clone());
+    state.emplace("swa." + suffix, swa_[i].clone());
+  }
+  Tensor step({1});
+  step.data()[0] = static_cast<float>(step_);
+  state.emplace("step", std::move(step));
+  return state;
+}
+
+void Optimizer::import_state(const std::map<std::string, Tensor>& state) {
+  SF_CHECK(!swa_swapped_) << "import_state() while SWA weights are swapped in";
+  auto fetch = [&](const std::string& key) -> const Tensor& {
+    auto it = state.find(key);
+    SF_CHECK(it != state.end()) << "optimizer state missing" << key;
+    return it->second;
+  };
+  // Validate shapes before the first write: a bad state map must not
+  // leave the optimizer half-restored.
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const std::string suffix = std::to_string(i);
+    for (const char* prefix : {"m.", "v.", "swa."}) {
+      SF_CHECK(fetch(prefix + suffix).shape() == params_[i].shape())
+          << "optimizer state shape mismatch for" << prefix + suffix;
+    }
+  }
+  SF_CHECK(fetch("step").numel() == 1);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const std::string suffix = std::to_string(i);
+    m_[i].copy_from(fetch("m." + suffix));
+    v_[i].copy_from(fetch("v." + suffix));
+    swa_[i].copy_from(fetch("swa." + suffix));
+  }
+  step_ = static_cast<int64_t>(fetch("step").data()[0]);
+}
+
 void Optimizer::zero_grad() {
   for (auto& p : params_) p.zero_grad();
 }

@@ -12,6 +12,8 @@
 // order; tests assert numerical equivalence.
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "autograd/var.h"
@@ -42,6 +44,21 @@ class Optimizer {
 
   int64_t step_count() const { return step_; }
   float last_grad_norm() const { return last_grad_norm_; }
+
+  /// Global L2 norm of the gradients currently stored on the params,
+  /// without applying an update. Non-finite iff any gradient is (used by
+  /// the trainer's NaN/Inf step guard).
+  float grad_norm();
+
+  /// Full optimizer state (Adam moments, SWA weights, step count) as
+  /// named tensors for checkpointing. Keys are positional ("m.<i>"),
+  /// following the construction order of `params`.
+  std::map<std::string, Tensor> export_state() const;
+
+  /// Restore state produced by export_state(). Tensor count and shapes
+  /// must match this optimizer's params; training then resumes
+  /// bit-identically from the exported step.
+  void import_state(const std::map<std::string, Tensor>& state);
 
   /// Copy SWA (averaged) weights into the live parameters, saving the
   /// current ones; restore_live() undoes it. Used around evaluation.

@@ -1,11 +1,22 @@
 #include "train/trainer.h"
 
 #include <cmath>
+#include <cstring>
+#include <map>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "common/timer.h"
+#include "train/checkpoint.h"
 
 namespace sf::train {
+namespace {
+
+/// Keys holding optimizer state inside a combined trainer checkpoint;
+/// model parameter names never collide with this prefix.
+constexpr const char* kOptPrefix = "__opt__/";
+
+}  // namespace
 
 Trainer::Trainer(model::MiniAlphaFold& net, TrainConfig config)
     : net_(net),
@@ -63,13 +74,76 @@ StepResult Trainer::train_step_accumulated(
     loss_acc += out.loss.value().at(0);
     lddt_acc += out.lddt;
   }
-  opt_.step(current_lr_scale());
 
   result.loss = static_cast<float>(loss_acc / batches.size());
   result.lddt = static_cast<float>(lddt_acc / batches.size());
+
+  if (config_.skip_nonfinite_steps) {
+    // NaN/Inf guard: a poisoned loss or gradient must not reach the
+    // weights — Adam moments would stay contaminated for the rest of the
+    // run. Skip the update, report it, keep going.
+    const float norm = opt_.grad_norm();
+    if (!std::isfinite(loss_acc) || !std::isfinite(norm)) {
+      opt_.zero_grad();
+      ++skipped_steps_;
+      result.skipped = true;
+      result.grad_norm = norm;
+      result.seconds = timer.elapsed();
+      SF_LOG(kWarn) << "skipping non-finite step (loss " << result.loss
+                    << ", grad norm " << norm << ")";
+      return result;
+    }
+  }
+
+  opt_.step(current_lr_scale());
   result.grad_norm = opt_.last_grad_norm();
   result.seconds = timer.elapsed();
   return result;
+}
+
+std::string Trainer::checkpoint_to(const std::string& dir, int keep_last) {
+  std::map<std::string, Tensor> tensors;
+  for (const auto& [name, v] : net_.params().named()) {
+    tensors.emplace(name, v.value());
+  }
+  for (auto& [key, t] : opt_.export_state()) {
+    tensors.emplace(kOptPrefix + key, std::move(t));
+  }
+  return CheckpointManager(dir, keep_last).save(opt_.step_count(), tensors);
+}
+
+int64_t Trainer::resume_from(const std::string& dir) {
+  std::map<std::string, Tensor> tensors;
+  const int64_t step = CheckpointManager(dir).load_latest(tensors);
+  if (step < 0) return -1;
+
+  std::map<std::string, Tensor> opt_state;
+  for (auto it = tensors.begin(); it != tensors.end();) {
+    if (it->first.rfind(kOptPrefix, 0) == 0) {
+      opt_state.emplace(it->first.substr(std::strlen(kOptPrefix)),
+                        std::move(it->second));
+      it = tensors.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Validate the parameter plan before any write so a mismatched
+  // checkpoint leaves model and optimizer untouched (import_state applies
+  // the same validate-then-write discipline to the optimizer half).
+  const auto& named = net_.params().named();
+  for (const auto& [name, v] : named) {
+    auto it = tensors.find(name);
+    SF_CHECK(it != tensors.end()) << "checkpoint missing parameter" << name;
+    SF_CHECK(it->second.shape() == v.shape())
+        << "checkpoint shape mismatch for" << name;
+  }
+  opt_.import_state(opt_state);
+  for (const auto& [name, v] : named) {
+    const_cast<autograd::Var&>(v).mutable_value().copy_from(tensors.at(name));
+  }
+  SF_LOG(kInfo) << "resumed from step " << step << " in " << dir;
+  return step;
 }
 
 }  // namespace sf::train

@@ -4,9 +4,16 @@
 // recycling count sampled uniformly per step (1..max), gradient clipping,
 // Adam + SWA update, LR warmup, optional bf16 activations, and periodic
 // (sync or async) evaluation gated on avg lDDT-Ca.
+//
+// Fault tolerance: a non-finite loss or gradient (a statistical certainty
+// somewhere in a multi-thousand-GPU time-to-train run) skips the update
+// instead of poisoning the weights, and checkpoint_to()/resume_from()
+// give a killed run a lossless restart path (params + full optimizer
+// state, newest-valid checkpoint wins).
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "data/protein_sample.h"
@@ -26,6 +33,9 @@ struct TrainConfig {
   int64_t min_recycles = 1;
   int64_t max_recycles = 2;
   uint64_t seed = 1234;
+  /// Skip the optimizer update (and count it) when the loss or the
+  /// global gradient norm is NaN/Inf, instead of corrupting the weights.
+  bool skip_nonfinite_steps = true;
 };
 
 struct StepResult {
@@ -34,6 +44,7 @@ struct StepResult {
   float grad_norm = 0.0f;
   int64_t recycles = 0;
   double seconds = 0.0;
+  bool skipped = false;  ///< update skipped by the NaN/Inf guard
 };
 
 class Trainer {
@@ -52,11 +63,25 @@ class Trainer {
   int64_t step() const { return opt_.step_count(); }
   float current_lr_scale() const;
 
+  /// Steps rejected by the NaN/Inf guard since construction.
+  int64_t skipped_steps() const { return skipped_steps_; }
+
+  /// Write a rotating, crash-consistent checkpoint (model params + full
+  /// optimizer state) for the current step into `dir`. Returns the path.
+  std::string checkpoint_to(const std::string& dir, int keep_last = 3);
+
+  /// Restore params + optimizer state from the newest *valid* checkpoint
+  /// in `dir` (corrupt or truncated files are skipped). Returns the step
+  /// resumed from, or -1 when no valid checkpoint exists (model and
+  /// optimizer are left untouched).
+  int64_t resume_from(const std::string& dir);
+
  private:
   model::MiniAlphaFold& net_;
   TrainConfig config_;
   Optimizer opt_;
   Rng rng_;
+  int64_t skipped_steps_ = 0;
 };
 
 }  // namespace sf::train

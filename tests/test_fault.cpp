@@ -1,0 +1,151 @@
+// Tests for the deterministic fault-injection framework (sf::fault).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/timer.h"
+
+namespace sf::fault {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { reset(); }
+};
+
+int count_fires(const char* site, int hits) {
+  int fired = 0;
+  for (int i = 0; i < hits; ++i) {
+    try {
+      SF_FAULT_POINT(site, i);
+    } catch (const InjectedFault&) {
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+TEST_F(FaultTest, DisarmedSiteIsFreeAndSilent) {
+  EXPECT_FALSE(any_armed());
+  EXPECT_EQ(count_fires("nothing.armed", 100), 0);
+  EXPECT_EQ(stats("nothing.armed").hits, 0);  // untracked while disarmed
+}
+
+TEST_F(FaultTest, ArmOnceFiresExactlyOnceOnNthHit) {
+  arm_once("t.once", /*on_hit=*/3);
+  EXPECT_TRUE(any_armed());
+  int fired_at = -1;
+  for (int i = 0; i < 10; ++i) {
+    try {
+      SF_FAULT_POINT("t.once");
+    } catch (const InjectedFault& e) {
+      fired_at = i;
+      EXPECT_EQ(e.site(), "t.once");
+    }
+  }
+  EXPECT_EQ(fired_at, 2);  // 3rd hit, 0-based loop index 2
+  EXPECT_EQ(stats("t.once").hits, 10);
+  EXPECT_EQ(stats("t.once").fires, 1);
+}
+
+TEST_F(FaultTest, MaxFiresCapsInjectedFailures) {
+  SiteConfig cfg;
+  cfg.max_fires = 4;
+  arm("t.cap", cfg);
+  EXPECT_EQ(count_fires("t.cap", 50), 4);
+}
+
+TEST_F(FaultTest, ProbabilityStreamIsDeterministic) {
+  SiteConfig cfg;
+  cfg.probability = 0.3;
+  cfg.max_fires = -1;
+  cfg.seed = 7;
+  arm("t.prob", cfg);
+  const int first = count_fires("t.prob", 300);
+  arm("t.prob", cfg);  // re-arm resets counters and the stream
+  const int second = count_fires("t.prob", 300);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first, 40);   // ~90 expected
+  EXPECT_LT(first, 160);
+}
+
+TEST_F(FaultTest, ContextIndexAppearsInMessage) {
+  arm_once("t.ctx");
+  std::string msg;
+  try {
+    SF_FAULT_POINT("t.ctx", int64_t{42});
+  } catch (const InjectedFault& e) {
+    msg = e.what();
+  }
+  EXPECT_NE(msg.find("t.ctx"), std::string::npos);
+  EXPECT_NE(msg.find("42"), std::string::npos);
+}
+
+TEST_F(FaultTest, KillConfigThrowsWorkerKillNotInjectedFault) {
+  SiteConfig cfg;
+  cfg.kill = true;
+  arm("t.kill", cfg);
+  bool killed = false;
+  try {
+    SF_FAULT_POINT("t.kill");
+  } catch (const InjectedFault&) {
+    FAIL() << "kill must not be catchable as InjectedFault";
+  } catch (const WorkerKill& e) {
+    killed = true;
+    EXPECT_EQ(e.site(), "t.kill");
+  }
+  EXPECT_TRUE(killed);
+}
+
+TEST_F(FaultTest, DelayWithoutThrowJustSleeps) {
+  SiteConfig cfg;
+  cfg.delay_seconds = 0.05;
+  cfg.throws = false;
+  arm("t.delay", cfg);
+  Timer t;
+  SF_FAULT_POINT("t.delay");  // must not throw
+  EXPECT_GT(t.elapsed(), 0.04);
+  SF_FAULT_POINT("t.delay");  // max_fires=1 default: second hit is free
+  EXPECT_EQ(stats("t.delay").fires, 1);
+}
+
+TEST_F(FaultTest, DisarmStopsFiring) {
+  SiteConfig cfg;
+  cfg.max_fires = -1;
+  arm("t.disarm", cfg);
+  EXPECT_EQ(count_fires("t.disarm", 3), 3);
+  disarm("t.disarm");
+  EXPECT_EQ(count_fires("t.disarm", 3), 0);
+  EXPECT_EQ(stats("t.disarm").fires, 3);  // stats survive until reset()
+  reset();
+  EXPECT_EQ(stats("t.disarm").fires, 0);
+}
+
+TEST_F(FaultTest, ConcurrentHitsAreSafeAndCounted) {
+  SiteConfig cfg;
+  cfg.probability = 0.5;
+  cfg.max_fires = -1;
+  arm("t.mt", cfg);
+  constexpr int kThreads = 8, kHitsEach = 500;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] {
+      for (int k = 0; k < kHitsEach; ++k) {
+        try {
+          SF_FAULT_POINT("t.mt");
+        } catch (const InjectedFault&) {
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto s = stats("t.mt");
+  EXPECT_EQ(s.hits, kThreads * kHitsEach);
+  EXPECT_GT(s.fires, 0);
+  EXPECT_LE(s.fires, s.hits);
+}
+
+}  // namespace
+}  // namespace sf::fault

@@ -402,6 +402,82 @@ TEST(StepSim, MoreSimStepsConverges) {
   EXPECT_NEAR(ta, tb, tb * 0.1);
 }
 
+// ---- Time-to-train under failures ------------------------------------
+
+TttConfig failure_cfg(double node_mtbf_hours = 20.0) {
+  TttConfig cfg;
+  cfg.cluster = base_cfg(256);
+  cfg.cluster.dap = 8;
+  cfg.cluster.toggles = Toggles::all_on();
+  cfg.total_steps = 4000;
+  cfg.async_eval = true;
+  // Aggressive MTBF so a short simulated run actually sees failures.
+  cfg.cluster.failure.node_mtbf_hours = node_mtbf_hours;
+  cfg.cluster.failure.gpus_per_node = 8;
+  cfg.cluster.failure.restart_seconds = 120.0;
+  cfg.cluster.failure.checkpoint_write_seconds = 10.0;
+  return cfg;
+}
+
+TEST(TttFailures, DisabledModelDegeneratesToFaultFree) {
+  TttConfig cfg = failure_cfg();
+  cfg.cluster.failure.node_mtbf_hours = 0.0;
+  auto r = time_to_train_under_failures(cfg, 8);
+  EXPECT_EQ(r.total_s, r.fault_free.total_s);
+  EXPECT_EQ(r.expected_failures, 0.0);
+  EXPECT_EQ(r.lost_work_s, 0.0);
+}
+
+TEST(TttFailures, SeededRunsAreDeterministic) {
+  TttConfig cfg = failure_cfg();
+  auto a = time_to_train_under_failures(cfg, 16);
+  auto b = time_to_train_under_failures(cfg, 16);
+  EXPECT_EQ(a.total_s, b.total_s);
+  EXPECT_EQ(a.expected_failures, b.expected_failures);
+  EXPECT_EQ(a.lost_work_s, b.lost_work_s);
+}
+
+TEST(TttFailures, FailuresAddRestartsLostWorkAndOverhead) {
+  auto r = time_to_train_under_failures(failure_cfg(), 16);
+  EXPECT_GT(r.expected_failures, 0.0);
+  EXPECT_GT(r.lost_work_s, 0.0);
+  EXPECT_GT(r.restart_s, 0.0);
+  EXPECT_GT(r.checkpoint_overhead_s, 0.0);
+  EXPECT_GT(r.total_s, r.fault_free.total_s);
+  // Accounting sanity: the overhead components explain the gap.
+  EXPECT_NEAR(r.total_s - r.fault_free.total_s,
+              r.lost_work_s + r.restart_s + r.checkpoint_overhead_s,
+              1e-6 * r.total_s);
+}
+
+TEST(TttFailures, LowerMtbfMeansMoreOverhead) {
+  auto frequent = time_to_train_under_failures(failure_cfg(10.0), 16);
+  auto rare = time_to_train_under_failures(failure_cfg(2000.0), 16);
+  EXPECT_GT(frequent.expected_failures, rare.expected_failures);
+  EXPECT_GT(frequent.total_s, rare.total_s);
+}
+
+TEST(TttFailures, ZeroIntervalDefaultsToDaly) {
+  auto r = time_to_train_under_failures(failure_cfg(), 4);
+  EXPECT_GT(r.daly_interval_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.checkpoint_interval_s, r.daly_interval_s);
+  TttConfig cfg = failure_cfg();
+  cfg.cluster.failure.checkpoint_interval_steps = 100;
+  auto r2 = time_to_train_under_failures(cfg, 4);
+  EXPECT_EQ(r2.checkpoint_interval_steps, 100);
+}
+
+TEST(TttFailures, IntervalSearchBeatsTheExtremes) {
+  auto opt = optimize_checkpoint_interval(failure_cfg(), 8);
+  ASSERT_GE(opt.curve.size(), 3u);
+  EXPECT_GE(opt.best_interval_steps, 1);
+  EXPECT_LE(opt.best_total_s, opt.curve.front().second);
+  EXPECT_LE(opt.best_total_s, opt.curve.back().second);
+  for (const auto& [interval_s, total_s] : opt.curve) {
+    EXPECT_GE(total_s, opt.best_total_s);
+  }
+}
+
 TEST(GraphEffect, UselessAtDap1CrucialAtDap8) {
   // §4.1 verbatim: "CudaGraph is not beneficial for DAP-1" but essential
   // at DAP-8.

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "autograd/ops.h"
 #include "common/timer.h"
@@ -200,6 +201,82 @@ TEST(Trainer, LossDecreasesOnFixedBatch) {
   }
   EXPECT_LT(last_loss, first_loss * 0.8f)
       << "no learning: " << first_loss << " -> " << last_loss;
+}
+
+TEST(Trainer, NonFiniteLossSkipsUpdateAndKeepsTraining) {
+  data::SyntheticProteinDataset ds(tiny_data());
+  model::MiniAlphaFold net(tiny_config(), 21);
+  TrainConfig tc;
+  tc.min_recycles = 1;
+  tc.max_recycles = 1;
+  Trainer trainer(net, tc);
+
+  auto poisoned = ds.prepare_batch(1);
+  for (int64_t i = 0; i < poisoned.msa_feat.numel(); ++i) {
+    poisoned.msa_feat.data()[i] = std::numeric_limits<float>::quiet_NaN();
+  }
+  std::vector<Tensor> before;
+  for (const auto& p : net.params().all()) before.push_back(p.value().clone());
+
+  auto r = trainer.train_step(poisoned);
+  EXPECT_TRUE(r.skipped);
+  EXPECT_EQ(trainer.skipped_steps(), 1);
+  EXPECT_EQ(trainer.step(), 0);  // the optimizer never stepped
+  auto all = net.params().all();
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].value().max_abs_diff(before[i]), 0.0f)
+        << "param " << i << " modified by a skipped step";
+  }
+
+  // A clean batch right after must train normally (grads were cleared).
+  auto r2 = trainer.train_step(ds.prepare_batch(0));
+  EXPECT_FALSE(r2.skipped);
+  EXPECT_TRUE(std::isfinite(r2.loss));
+  EXPECT_EQ(trainer.step(), 1);
+  EXPECT_EQ(trainer.skipped_steps(), 1);
+}
+
+TEST(Optimizer, ExportImportRoundtripMatchesTrajectory) {
+  Rng rng(31);
+  Tensor init = Tensor::randn({16}, rng);
+  autograd::Var pa(init.clone(), true);
+  autograd::Var pb(init.clone(), true);
+  OptimizerConfig oc;
+  auto grad_step = [](autograd::Var& p, Optimizer& o) {
+    p.zero_grad();
+    autograd::backward(autograd::sum(autograd::mul(p, p)));
+    o.step();
+  };
+  Optimizer a({pa}, oc);
+  for (int i = 0; i < 3; ++i) grad_step(pa, a);
+
+  Optimizer b({pb}, oc);
+  pb.mutable_value().copy_from(pa.value());
+  b.import_state(a.export_state());
+  EXPECT_EQ(b.step_count(), a.step_count());
+
+  // With params + moments + step restored, the next update is identical.
+  grad_step(pa, a);
+  grad_step(pb, b);
+  EXPECT_EQ(pb.value().max_abs_diff(pa.value()), 0.0f);
+}
+
+TEST(Optimizer, ImportStateRejectsShapeMismatchUntouched) {
+  Rng rng(32);
+  autograd::Var p(Tensor::randn({8}, rng), true);
+  Optimizer opt({p}, OptimizerConfig{});
+  p.zero_grad();
+  autograd::backward(autograd::sum(p));
+  opt.step();
+  auto state = opt.export_state();
+  auto good = state;
+  state.at("m.0") = Tensor({4});  // wrong shape
+  EXPECT_THROW(opt.import_state(state), Error);
+  // The failed import must not have clobbered anything: importing the
+  // valid snapshot again still works and the step count is unchanged.
+  EXPECT_EQ(opt.step_count(), 1);
+  opt.import_state(good);
+  EXPECT_EQ(opt.step_count(), 1);
 }
 
 TEST(Checkpoint, TensorsRoundtrip) {
