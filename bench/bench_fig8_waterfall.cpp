@@ -2,11 +2,21 @@
 // H100 — the optimization waterfall. Each row enables one more ScaleFold
 // optimization cumulatively, in the paper's order, and reports the
 // simulated step time plus incremental and cumulative speedups.
+//
+// The waterfall is also emitted as a Chrome-trace JSON (one track per
+// arch, one nested "step:<stage>" span per row with its phase breakdown
+// as children) via the sf_obs tracer — open the file in chrome://tracing
+// or https://ui.perfetto.dev to see the steps shrink stage by stage.
+// Output path: $SCALEFOLD_TRACE_FILE, default "fig8_trace.json".
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/cluster.h"
+#include "sim/trace_emit.h"
 
 using namespace sf::sim;
 
@@ -18,7 +28,7 @@ struct Stage {
   double paper_incremental;  ///< speedup the paper attributes to this stage
 };
 
-void run_arch(const GpuArch& arch, double paper_ref_step) {
+void run_arch(const GpuArch& arch, double paper_ref_step, uint32_t track) {
   ClusterConfig cfg;
   cfg.arch = arch;
   cfg.num_gpus = 128;
@@ -57,9 +67,14 @@ void run_arch(const GpuArch& arch, double paper_ref_step) {
   std::printf("%-34s | %8s | %8s | %9s | %10s\n", "stage", "step(s)",
               "incr(x)", "cumul(x)", "paper incr");
   double ref = 0, prev = 0;
+  double cursor_us = 0.0;
   for (const auto& stage : stages) {
     stage.apply(cfg);
-    double t = simulate_step_time(cfg).mean_step_s;
+    StepStats stats = simulate_step_time(cfg);
+    // One simulated step per waterfall row, tiled on this arch's track:
+    // the Chrome row shrinks stage by stage, phases visible as children.
+    cursor_us = emit_step_trace(stage.name, stats, cursor_us, track);
+    double t = stats.mean_step_s;
     if (ref == 0) {
       ref = prev = t;
     }
@@ -73,9 +88,13 @@ void run_arch(const GpuArch& arch, double paper_ref_step) {
 }  // namespace
 
 int main() {
+  // The waterfall trace is this bench's product, so tracing is on
+  // regardless of SCALEFOLD_TRACE.
+  sf::obs::set_trace_enabled(true);
+
   std::printf("=== Fig. 8: step-by-step step-time improvement ===\n\n");
-  run_arch(GpuArch::a100(), 6.76);
-  run_arch(GpuArch::h100(), 4.07);
+  run_arch(GpuArch::a100(), 6.76, /*track=*/100);
+  run_arch(GpuArch::h100(), 4.07, /*track=*/101);
   std::printf("paper: overall ~6.2x speedup vs the reference model on "
               "H100.\n");
 
@@ -83,6 +102,7 @@ int main() {
   // slower than eager DAP-4.
   std::printf("\n--- CUDA Graph ablation at high DAP (H100, all other "
               "optimizations on) ---\n");
+  uint32_t track = 102;
   for (bool graph : {false, true}) {
     ClusterConfig cfg;
     cfg.arch = GpuArch::h100();
@@ -91,13 +111,27 @@ int main() {
     cfg.toggles = Toggles::all_on();
     cfg.toggles.cuda_graph = graph;
     std::printf("cuda_graph=%-5s :", graph ? "on" : "off");
+    double cursor_us = 0.0;
     for (int dap : {1, 2, 4, 8}) {
       cfg.dap = dap;
-      std::printf("  DAP-%d %.3fs", dap, simulate_step_time(cfg).mean_step_s);
+      StepStats stats = simulate_step_time(cfg);
+      cursor_us = emit_step_trace(
+          std::string(graph ? "graph" : "eager") + " DAP-" +
+              std::to_string(dap),
+          stats, cursor_us, track);
+      std::printf("  DAP-%d %.3fs", dap, stats.mean_step_s);
     }
+    ++track;
     std::printf("\n");
   }
   std::printf("(paper: without CUDA Graph, DAP-8 achieved only 1.52x — "
               "below DAP-4)\n");
+
+  const char* env = std::getenv("SCALEFOLD_TRACE_FILE");
+  const std::string path = env && *env ? env : "fig8_trace.json";
+  sf::obs::write_chrome_trace(path);
+  std::printf("\nwrote %zu trace events to %s (open in chrome://tracing "
+              "or ui.perfetto.dev)\n",
+              sf::obs::event_count(), path.c_str());
   return 0;
 }

@@ -2,14 +2,24 @@
 // step time down, synchronous evaluation's share of the total grows (the
 // paper reports 22% -> 43%) until asynchronous evaluation removes it from
 // the critical path, leaving ~2 minutes of init/compile plus training.
+//
+// Each scenario is also emitted as a nested init/train/eval span on its
+// own Chrome-trace track; $SCALEFOLD_TRACE_FILE (default
+// "fig9_trace.json") gets the timeline for chrome://tracing / Perfetto.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "obs/trace.h"
 #include "sim/cluster.h"
+#include "sim/trace_emit.h"
 #include "sim/ttt.h"
 
 using namespace sf::sim;
 
 namespace {
+
+uint32_t g_track = 110;
 
 void report(const char* name, const TttConfig& cfg) {
   TttResult r = time_to_train(cfg);
@@ -18,11 +28,15 @@ void report(const char* name, const TttConfig& cfg) {
               "| eval%% %5.1f\n",
               name, r.init_s / 60, r.train_s / 60, r.eval_s / 60,
               r.total_s / 60, eval_share);
+  emit_ttt_trace(name, r, 0.0, g_track++);
 }
 
 }  // namespace
 
 int main() {
+  // Like Fig. 8, the timeline trace is part of this bench's product.
+  sf::obs::set_trace_enabled(true);
+
   std::printf("=== Fig. 9: time-to-train breakdown (minutes) ===\n");
   std::printf("(MLPerf-style partial convergence, %d steps)\n\n", 400);
 
@@ -55,5 +69,11 @@ int main() {
   std::printf("\npaper: eval share grew from 22%% to 43%% as steps got "
               "faster; async evaluation plus the DRAM eval cache removed "
               "it, leaving ~2 min init + training.\n");
+
+  const char* env = std::getenv("SCALEFOLD_TRACE_FILE");
+  const std::string path = env && *env ? env : "fig9_trace.json";
+  sf::obs::write_chrome_trace(path);
+  std::printf("wrote %zu trace events to %s\n", sf::obs::event_count(),
+              path.c_str());
   return 0;
 }

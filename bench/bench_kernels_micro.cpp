@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "kernels/attention.h"
+#include "obs/trace.h"
 #include "kernels/bf16_kernels.h"
 #include "kernels/elementwise.h"
 #include "kernels/gemm.h"
@@ -322,6 +323,52 @@ void BM_LayerNormF32Large(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LayerNormF32Large);
+
+// ---- tracing overhead: the <2% disabled-cost budget ---------------------
+// Every kernel above carries an SF_TRACE_SPAN; with tracing off, the span
+// constructor must cost one relaxed atomic load. BM_DisabledTraceSpan
+// measures that cost in isolation; compare against any kernel benchmark
+// (e.g. BM_LayerNormFused/{64,128} ~ microseconds) to confirm the <2%
+// overhead bound. BM_EnabledTraceSpan shows the hot (recording) cost.
+
+void BM_DisabledTraceSpan(benchmark::State& state) {
+  sf::obs::set_trace_enabled(false);
+  for (auto _ : state) {
+    SF_TRACE_SPAN("bench", "disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_DisabledTraceSpan);
+
+void BM_EnabledTraceSpan(benchmark::State& state) {
+  sf::obs::set_trace_enabled(true);
+  sf::obs::reset();
+  for (auto _ : state) {
+    SF_TRACE_SPAN("bench", "enabled");
+    benchmark::ClobberMemory();
+  }
+  sf::obs::set_trace_enabled(false);
+  sf::obs::reset();
+}
+BENCHMARK(BM_EnabledTraceSpan);
+
+void BM_LayerNormFusedTracedOff(benchmark::State& state) {
+  // The instrumented call path as shipped: layernorm_forward_fused already
+  // contains its SF_TRACE_SPAN, so this measures kernel + disabled span —
+  // directly comparable to BM_LayerNormFused numbers above.
+  sf::obs::set_trace_enabled(false);
+  const int64_t rows = 64, cols = 128;
+  auto x = randoms(rows * cols, 1);
+  auto gamma = randoms(cols, 2);
+  auto beta = randoms(cols, 3);
+  std::vector<float> y(rows * cols);
+  for (auto _ : state) {
+    layernorm_forward_fused(x.data(), gamma.data(), beta.data(), y.data(),
+                            rows, cols, 1e-5f, nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LayerNormFusedTracedOff);
 
 void BM_LayerNormBf16Large(benchmark::State& state) {
   const int64_t rows = 32768, cols = 256;  // 16 MB activations

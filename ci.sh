@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: build + test twice — a plain RelWithDebInfo pass, then an
-# ASan+UBSan pass so the loader/fault concurrency paths run under the
-# sanitizers on every change.
+# CI entry point: build + test three times — a plain RelWithDebInfo pass,
+# an ASan+UBSan pass, and a TSan pass over the concurrency-heavy suites
+# (thread pool, prefetch loader, fault injection, tracer/metrics) so data
+# races surface on every change.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -16,5 +17,12 @@ echo "==> address,undefined sanitizer build"
 cmake -B build-asan -S . -DSCALEFOLD_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "==> thread sanitizer build (concurrency suites)"
+cmake -B build-tsan -S . -DSCALEFOLD_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target \
+  test_common test_fault test_obs test_loader test_data
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R '^(test_common|test_fault|test_obs|test_loader|test_data)$'
 
 echo "==> all green"

@@ -30,9 +30,33 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+std::exception_ptr ThreadPool::take_error_locked() {
+  std::exception_ptr e = first_error_;
+  first_error_ = nullptr;
+  return e;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (std::exception_ptr e = take_error_locked()) {
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::check() {
+  std::exception_ptr e;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    e = take_error_locked();
+  }
+  if (e) std::rethrow_exception(e);
+}
+
+int64_t ThreadPool::failed_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_tasks_;
 }
 
 void ThreadPool::worker_loop() {
@@ -46,9 +70,21 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    // A throwing task must not escape (std::terminate) nor strand
+    // active_: capture the first exception for the consumer and keep
+    // this worker serving the queue.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error) {
+        ++failed_tasks_;
+        if (!first_error_) first_error_ = std::move(error);
+      }
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }

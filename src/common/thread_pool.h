@@ -4,10 +4,19 @@
 // pool threads here) and by async evaluation. Tasks are type-erased
 // std::function<void()>; results flow through caller-owned state or
 // std::promise captured in the closure.
+//
+// Exception safety: a task that throws does NOT kill its worker (letting
+// the exception escape worker_loop would hit std::terminate and strand
+// active_, hanging wait_idle() forever). The first exception is captured
+// and rethrown on the consumer side by check() or wait_idle(); later
+// exceptions are counted and dropped, mirroring the PyTorch DataLoader
+// contract the PrefetchLoader follows.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,21 +35,33 @@ class ThreadPool {
   /// Enqueue a task. Throws sf::Error if the pool is shutting down.
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have completed.
+  /// Block until all submitted tasks have completed, then rethrow the
+  /// first task exception, if any (clearing it, like check()).
   void wait_idle();
+
+  /// Rethrow the first exception thrown by a task since the last check,
+  /// if any, and clear it. Non-blocking.
+  void check();
+
+  /// Tasks that threw since construction (including dropped ones).
+  int64_t failed_tasks() const;
 
   size_t size() const { return workers_.size(); }
 
  private:
   void worker_loop();
+  /// Takes the stored exception (nullptr if none). Lock held by caller.
+  std::exception_ptr take_error_locked();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   size_t active_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
+  int64_t failed_tasks_ = 0;
 };
 
 }  // namespace sf

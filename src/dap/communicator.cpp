@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace sf::dap {
 
@@ -25,6 +26,7 @@ void Communicator::barrier_locked(std::unique_lock<std::mutex>& lock) {
 }
 
 void Communicator::barrier(int rank) {
+  SF_TRACE_SPAN_ID("dap", "barrier", rank);
   SF_CHECK(rank >= 0 && rank < n_);
   std::unique_lock<std::mutex> lock(mu_);
   barrier_locked(lock);
@@ -32,6 +34,7 @@ void Communicator::barrier(int rank) {
 
 void Communicator::all_gather(int rank, std::span<const float> chunk,
                               std::span<float> out) {
+  SF_TRACE_SPAN_ID("dap", "all_gather", rank);
   SF_CHECK(rank >= 0 && rank < n_);
   SF_CHECK(out.size() == chunk.size() * static_cast<size_t>(n_))
       << "all_gather output must hold world_size chunks";
@@ -54,6 +57,7 @@ void Communicator::all_gather(int rank, std::span<const float> chunk,
 }
 
 void Communicator::all_reduce_sum(int rank, std::span<float> buf) {
+  SF_TRACE_SPAN_ID("dap", "all_reduce", rank);
   SF_CHECK(rank >= 0 && rank < n_);
   std::unique_lock<std::mutex> lock(mu_);
   recv_ptr_[rank] = buf.data();
@@ -87,6 +91,7 @@ void Communicator::all_reduce_sum(int rank, std::span<float> buf) {
 
 void Communicator::reduce_scatter_sum(int rank, std::span<const float> full,
                                       std::span<float> out) {
+  SF_TRACE_SPAN_ID("dap", "reduce_scatter", rank);
   SF_CHECK(rank >= 0 && rank < n_);
   SF_CHECK(full.size() % n_ == 0);
   const size_t slice = full.size() / n_;
@@ -114,6 +119,7 @@ void Communicator::reduce_scatter_sum(int rank, std::span<const float> full,
 
 void Communicator::all_to_all(int rank, std::span<const float> send,
                               std::span<float> recv) {
+  SF_TRACE_SPAN_ID("dap", "all_to_all", rank);
   SF_CHECK(rank >= 0 && rank < n_);
   SF_CHECK(send.size() == recv.size());
   SF_CHECK(send.size() % n_ == 0) << "all_to_all needs equal chunks";

@@ -7,6 +7,8 @@
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sf::data {
 namespace {
@@ -14,6 +16,14 @@ namespace {
 std::chrono::microseconds to_us(double seconds) {
   return std::chrono::microseconds(
       static_cast<int64_t>(std::max(0.0, seconds) * 1e6));
+}
+
+/// Preparation-time histogram: Fig. 4's three-decade spread, log-spaced
+/// from 100us to 100s.
+obs::Histogram& prep_histogram() {
+  static auto& h = obs::Registry::global().histogram(
+      "loader.prep_seconds", 1e-4, 100.0, 24);
+  return h;
 }
 
 }  // namespace
@@ -69,6 +79,8 @@ void PrefetchLoader::reclaim_expired_locked() {
   for (auto it = in_progress_.begin(); it != in_progress_.end();) {
     if (now >= it->second) {
       ++stats_.timeouts;
+      obs::Registry::global().counter("loader.timeouts").add();
+      obs::emit_instant("loader", "timeout", 0, it->first);
       requeue_.push_back(it->first);
       it = in_progress_.erase(it);
     } else {
@@ -94,6 +106,7 @@ void PrefetchLoader::worker_loop() {
           idx = requeue_.front();
           requeue_.pop_front();
           ++stats_.requeues;
+          obs::Registry::global().counter("loader.requeues").add();
           break;  // requeued work does not re-count against max_in_flight
         }
         if (next_to_schedule_ < num_batches_ &&
@@ -119,14 +132,18 @@ void PrefetchLoader::worker_loop() {
     } catch (const fault::WorkerKill&) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.worker_deaths;
+      obs::Registry::global().counter("loader.worker_deaths").add();
       return;
     }
 
     for (int attempt = 1;; ++attempt) {
       std::string err;
       try {
+        SF_TRACE_SPAN_ID("loader", "prep", idx);
+        Timer prep_timer;
         SF_FAULT_POINT("loader.prep", idx);
         Batch batch = make_batch_(idx);
+        prep_histogram().observe(prep_timer.elapsed());
         {
           std::lock_guard<std::mutex> lock(mu_);
           in_progress_.erase(idx);
@@ -168,6 +185,8 @@ void PrefetchLoader::worker_loop() {
         return;
       }
       ++stats_.retries;
+      obs::Registry::global().counter("loader.retries").add();
+      obs::emit_instant("loader", "retry", 0, idx);
       // Interruptible exponential backoff; refresh the deadline afterwards
       // so the watchdog window covers the attempt, not the sleep.
       const double backoff =
@@ -182,6 +201,7 @@ void PrefetchLoader::worker_loop() {
 }
 
 Batch PrefetchLoader::next() {
+  SF_TRACE_SPAN("loader", "next");
   Timer wait_timer;
   std::unique_lock<std::mutex> lock(mu_);
   SF_CHECK(yielded_ < num_batches_) << "next() past end of loader";

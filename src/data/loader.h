@@ -107,13 +107,10 @@ class PrefetchLoader {
   /// DataLoader contract: worker failures surface on the consumer).
   Batch next();
 
-  /// Counters, by reference. Only stable once the stream is drained and
-  /// no worker can still be finishing a requeued duplicate; concurrent
-  /// readers should use stats_snapshot().
-  const LoaderStats& stats() const { return stats_; }
-
-  /// Copy of the counters taken under the loader lock (safe while
-  /// workers are still running).
+  /// Copy of the counters taken under the loader lock — the only stats
+  /// accessor. (A by-reference stats() existed once; it handed out
+  /// mutex-guarded state without the mutex, a data race whenever a worker
+  /// was still finishing a requeued duplicate, so it was removed.)
   LoaderStats stats_snapshot() const;
 
  private:

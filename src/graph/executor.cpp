@@ -36,6 +36,42 @@ double ExecStats::kernel_seconds() const {
   return s;
 }
 
+const char* op_kind_trace_category(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMath: return "kernel.math";
+    case OpKind::kMemoryBound: return "kernel.mem";
+    case OpKind::kMemOp: return "kernel.memop";
+  }
+  return "kernel";
+}
+
+ExecStats stats_from_trace(const std::vector<obs::TraceEvent>& events) {
+  ExecStats s;
+  auto kind_of = [](const std::string& cat, OpKind* out) {
+    for (OpKind k :
+         {OpKind::kMath, OpKind::kMemoryBound, OpKind::kMemOp}) {
+      if (cat == op_kind_trace_category(k)) {
+        *out = k;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const obs::TraceEvent& ev : events) {
+    if (ev.dur_us < 0) continue;  // instants carry no duration
+    OpKind kind;
+    if (ev.category == std::string(kDispatchCategory)) {
+      s.dispatch_seconds += ev.dur_us * 1e-6;
+      ++s.total_launches;
+    } else if (kind_of(ev.category, &kind)) {
+      auto& pk = s.by_kind[kind];
+      pk.seconds += ev.dur_us * 1e-6;
+      pk.calls += 1;
+    }
+  }
+  return s;
+}
+
 Executor::Executor() = default;
 
 void Executor::dispatch_overhead(const Op& op) {
@@ -55,11 +91,14 @@ void Executor::dispatch_overhead(const Op& op) {
 
 void Executor::run_eager(const Program& program) {
   for (const Op& op : program.ops()) {
-    Timer dispatch_timer;
-    dispatch_overhead(op);
-    stats_.dispatch_seconds += dispatch_timer.elapsed();
-    ++stats_.total_launches;
-
+    {
+      obs::TraceSpan span(kDispatchCategory, op.name);
+      Timer dispatch_timer;
+      dispatch_overhead(op);
+      stats_.dispatch_seconds += dispatch_timer.elapsed();
+      ++stats_.total_launches;
+    }
+    obs::TraceSpan span(op_kind_trace_category(op.kind), op.name);
     Timer kernel_timer;
     run_op_body(op);
     auto& pk = stats_.by_kind[op.kind];
@@ -89,6 +128,7 @@ GraphExec::GraphExec(const Program& program) {
 }
 
 void GraphExec::replay() {
+  SF_TRACE_SPAN("graph", "replay");
   for (auto& t : thunks_) t();
   ++replays_;
 }
@@ -101,6 +141,7 @@ GraphExec& GraphCache::get_or_capture(const std::string& key,
     return it->second;
   }
   ++misses_;
+  obs::TraceSpan span("graph", "capture:" + key);
   Program program = builder();
   auto [ins, ok] = graphs_.emplace(key, GraphExec(program));
   SF_CHECK(ok);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/ir.h"
+#include "obs/trace.h"
 
 namespace sf::graph {
 
@@ -36,6 +37,19 @@ struct ExecStats {
   double total_seconds() const { return kernel_seconds() + dispatch_seconds; }
   void reset() { *this = ExecStats{}; }
 };
+
+/// Trace category the eager executor tags kernel spans with, per census
+/// kind ("kernel.math" / "kernel.mem" / "kernel.memop"); dispatch spans
+/// use kDispatchCategory. Shared with the benches that rebuild Table 1
+/// from a trace.
+const char* op_kind_trace_category(OpKind kind);
+inline constexpr const char* kDispatchCategory = "dispatch";
+
+/// Rebuild the census from trace events recorded during run_eager: the
+/// same numbers as Executor::stats(), derived from the shared tracing
+/// substrate instead of a bespoke accumulator. Events with other
+/// categories (loader, train, ...) are ignored.
+ExecStats stats_from_trace(const std::vector<obs::TraceEvent>& events);
 
 class Executor {
  public:

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "kernels/softmax.h"
 
 namespace sf::kernels {
@@ -21,6 +22,7 @@ inline float dot(const float* a, const float* b, int64_t n) {
 void mha_forward_naive(const AttentionDims& d, const float* q, const float* k,
                        const float* v, const float* pair_bias,
                        const float* mask, float* out, AttentionContext* ctx) {
+  SF_TRACE_SPAN("kernel", "mha_fwd_naive");
   SF_CHECK(d.head_dim > 0);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
   const int64_t logits_per_bh = d.q_len * d.k_len;
@@ -80,6 +82,7 @@ void mha_backward_naive(const AttentionDims& d, const float* q, const float* k,
                         const float* v, const float* dout,
                         const AttentionContext& ctx, float* dq, float* dk,
                         float* dv, float* dbias) {
+  SF_TRACE_SPAN("kernel", "mha_bwd_naive");
   const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
   const int64_t logits_per_bh = d.q_len * d.k_len;
   SF_CHECK(static_cast<int64_t>(ctx.probs.size()) ==
@@ -154,6 +157,7 @@ void mha_forward_flash(const AttentionDims& d, const float* q, const float* k,
                        const float* v, const float* pair_bias,
                        const float* mask, float* out, AttentionContext* ctx,
                        int64_t k_tile) {
+  SF_TRACE_SPAN("kernel", "mha_fwd_flash");
   SF_CHECK(d.head_dim > 0);
   SF_CHECK(k_tile > 0);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
@@ -218,6 +222,7 @@ void mha_backward_flash(const AttentionDims& d, const float* q, const float* k,
                         const float* mask, const float* out, const float* dout,
                         const AttentionContext& ctx, float* dq, float* dk,
                         float* dv, float* dbias, int64_t k_tile) {
+  SF_TRACE_SPAN("kernel", "mha_bwd_flash");
   const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
   SF_CHECK(static_cast<int64_t>(ctx.lse.size()) == d.batch * d.heads * d.q_len)
       << "flash backward requires lse saved by flash forward";

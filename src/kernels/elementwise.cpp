@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace sf::kernels {
 namespace {
 
@@ -62,6 +64,7 @@ void bias_add(const float* x, const float* bias, float* y, int64_t rows,
 
 void fused_bias_gelu(const float* x, const float* bias, float* y, int64_t rows,
                      int64_t cols) {
+  SF_TRACE_SPAN("kernel", "fused_bias_gelu");
   for (int64_t r = 0; r < rows; ++r) {
     const float* xr = x + r * cols;
     float* yr = y + r * cols;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace sf::kernels {
 namespace {
@@ -89,6 +90,7 @@ void linear_group_separate(const float* x, int64_t m, int64_t k,
                            std::span<const float* const> weights,
                            std::span<const int64_t> out_dims,
                            std::span<float* const> outs) {
+  SF_TRACE_SPAN("kernel", "qkv_gemm_separate");
   SF_CHECK(weights.size() == out_dims.size());
   SF_CHECK(weights.size() == outs.size());
   // Each call walks the whole of X again — this is the unfused baseline the
@@ -102,6 +104,7 @@ void linear_group_batched(const float* x, int64_t m, int64_t k,
                           std::span<const float* const> weights,
                           std::span<const int64_t> out_dims,
                           std::span<float* const> outs) {
+  SF_TRACE_SPAN("kernel", "qkv_gemm_batched");
   SF_CHECK(weights.size() == out_dims.size());
   SF_CHECK(weights.size() == outs.size());
   for (auto* o : outs) SF_CHECK(o != nullptr);

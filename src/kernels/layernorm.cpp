@@ -6,12 +6,14 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace sf::kernels {
 
 void layernorm_forward_naive(const float* x, const float* gamma,
                              const float* beta, float* y, int64_t rows,
                              int64_t cols, float eps, LayerNormStats* stats) {
+  SF_TRACE_SPAN("kernel", "ln_fwd_naive");
   SF_CHECK(rows >= 0 && cols > 0);
   std::vector<float> mean(rows), var(rows);
   std::vector<float> centered(static_cast<size_t>(rows) * cols);
@@ -62,6 +64,7 @@ void layernorm_forward_fused(const float* x, const float* gamma,
                              const float* beta, float* y, int64_t rows,
                              int64_t cols, float eps, LayerNormStats* stats,
                              int64_t rows_per_tile) {
+  SF_TRACE_SPAN("kernel", "ln_fwd_fused");
   SF_CHECK(rows >= 0 && cols > 0);
   SF_CHECK(rows_per_tile > 0);
   if (stats) {
@@ -100,6 +103,7 @@ void layernorm_backward_naive(const float* x, const float* gamma,
                               const float* dy, const LayerNormStats& stats,
                               float* dx, float* dgamma, float* dbeta,
                               int64_t rows, int64_t cols) {
+  SF_TRACE_SPAN("kernel", "ln_bwd_naive");
   SF_CHECK(static_cast<int64_t>(stats.mean.size()) == rows);
   std::memset(dgamma, 0, sizeof(float) * cols);
   std::memset(dbeta, 0, sizeof(float) * cols);
@@ -154,6 +158,7 @@ void layernorm_backward_fused(const float* x, const float* gamma,
                               float* dx, float* dgamma, float* dbeta,
                               int64_t rows, int64_t cols,
                               int64_t rows_per_tile) {
+  SF_TRACE_SPAN("kernel", "ln_bwd_fused");
   SF_CHECK(static_cast<int64_t>(stats.mean.size()) == rows);
   SF_CHECK(rows_per_tile > 0);
   int64_t num_tiles = rows == 0 ? 0 : (rows + rows_per_tile - 1) / rows_per_tile;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace sf::kernels {
 
@@ -48,6 +49,7 @@ void swa_update_unfused(float* swa, const float* param, int64_t n,
 }
 
 float grad_norm_concat(std::span<const ParamChunk> chunks) {
+  SF_TRACE_SPAN("kernel", "grad_norm_concat");
   int64_t total = 0;
   for (const auto& c : chunks) total += c.n;
   // The naive path really allocates and copies (this is the overhead the
@@ -74,6 +76,7 @@ void grad_scale_per_tensor(std::span<ParamChunk> chunks, float scale) {
 void fused_adam_swa_step(std::span<const ParamChunk> chunks,
                          const AdamHyper& h, int64_t step, float swa_decay,
                          float grad_scale) {
+  SF_TRACE_SPAN("kernel", "fused_adam_swa");
   SF_CHECK(step >= 1);
   const float b1 = h.beta1, b2 = h.beta2;
   const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step));
@@ -107,6 +110,7 @@ void fused_adam_swa_step(std::span<const ParamChunk> chunks,
 
 float grad_norm_bucketed(std::span<const float* const> buckets,
                          std::span<const int64_t> sizes) {
+  SF_TRACE_SPAN("kernel", "grad_norm_bucketed");
   SF_CHECK(buckets.size() == sizes.size());
   double acc = 0.0;
   for (size_t b = 0; b < buckets.size(); ++b) {

@@ -1,0 +1,292 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace sf::obs::json {
+
+bool Value::as_bool() const {
+  SF_CHECK(is_bool()) << "JSON value is not a bool";
+  return bool_;
+}
+
+double Value::as_number() const {
+  SF_CHECK(is_number()) << "JSON value is not a number";
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  SF_CHECK(is_string()) << "JSON value is not a string";
+  return str_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  SF_CHECK(is_array()) << "JSON value is not an array";
+  return arr_;
+}
+
+const std::map<std::string, Value>& Value::as_object() const {
+  SF_CHECK(is_object()) << "JSON value is not an object";
+  return obj_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  SF_CHECK(it != obj.end()) << "JSON object has no key" << key;
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  return is_object() && obj_.count(key) > 0;
+}
+
+const Value& Value::at(size_t index) const {
+  const auto& arr = as_array();
+  SF_CHECK(index < arr.size()) << "JSON array index out of range" << index;
+  return arr[index];
+}
+
+size_t Value::size() const {
+  if (is_array()) return arr_.size();
+  if (is_object()) return obj_.size();
+  SF_FAIL("size() on a non-container JSON value");
+}
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double n) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.num_ = n;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(std::vector<Value> a) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.arr_ = std::move(a);
+  return v;
+}
+
+Value Value::make_object(std::map<std::string, Value> o) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.obj_ = std::move(o);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value run() {
+    Value v = parse_value();
+    skip_ws();
+    SF_CHECK(pos_ == s_.size())
+        << "trailing characters after JSON document at offset" << pos_;
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) {
+    std::ostringstream os;
+    os << "JSON parse error at offset " << pos_ << ": " << what;
+    throw Error(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    size_t n = 0;
+    while (lit[n]) ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value::make_string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value::make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value::make_null();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    std::map<std::string, Value> obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value::make_object(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value::make_object(std::move(obj));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    std::vector<Value> arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value::make_array(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value::make_array(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode (no surrogate-pair recombination; the exporter
+          // only escapes control characters, all below 0x80).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && s_[start] == '-')) {
+      fail("bad number");
+    }
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("bad number");
+    return Value::make_number(v);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).run(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  SF_CHECK(f.good()) << "cannot open JSON file" << path;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse(os.str());
+}
+
+}  // namespace sf::obs::json

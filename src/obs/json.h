@@ -1,0 +1,66 @@
+// Minimal JSON value + recursive-descent parser.
+//
+// Exists so tests (and tools) can load a trace.json or metrics dump back
+// in and assert on its structure without an external dependency. Supports
+// the full JSON grammar (objects, arrays, strings with escapes, numbers,
+// booleans, null); parse errors throw sf::Error with an offset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sf::obs::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw sf::Error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::map<std::string, Value>& as_object() const;
+
+  /// Object member access; throws if not an object or key missing.
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Array element access; throws if not an array or out of range.
+  const Value& at(size_t index) const;
+  size_t size() const;
+
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array(std::vector<Value> a);
+  static Value make_object(std::map<std::string, Value> o);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::map<std::string, Value> obj_;
+};
+
+/// Parse `text` as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). Throws sf::Error on malformed input.
+Value parse(const std::string& text);
+
+/// Convenience: parse the contents of a file.
+Value parse_file(const std::string& path);
+
+}  // namespace sf::obs::json

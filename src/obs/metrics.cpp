@@ -1,0 +1,166 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace sf::obs {
+
+Histogram::Histogram(double min_value, double max_value, int num_buckets)
+    : min_(min_value), max_(max_value), n_(num_buckets) {
+  SF_CHECK(min_value > 0.0) << "log-spaced buckets need a positive minimum";
+  SF_CHECK(max_value > min_value);
+  SF_CHECK(num_buckets >= 1);
+  log_min_ = std::log(min_value);
+  const double log_step =
+      (std::log(max_value) - log_min_) / static_cast<double>(n_);
+  inv_log_step_ = 1.0 / log_step;
+  counts_ = std::vector<std::atomic<int64_t>>(static_cast<size_t>(n_) + 2);
+}
+
+int Histogram::bucket_index(double v) const {
+  if (!(v >= min_)) return 0;  // underflow (also catches NaN)
+  if (v >= max_) return n_ + 1;
+  const int idx =
+      static_cast<int>((std::log(v) - log_min_) * inv_log_step_);
+  // log() rounding at an exact bucket boundary can land one off; clamp.
+  return std::min(n_, std::max(1, idx + 1));
+}
+
+void Histogram::observe(double v) {
+  counts_[static_cast<size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::bucket_lower(int index) const {
+  SF_CHECK(index >= 0 && index <= n_ + 1);
+  if (index == 0) return 0.0;
+  if (index == n_ + 1) return max_;
+  return std::exp(log_min_ + (index - 1) / inv_log_step_);
+}
+
+double Histogram::bucket_upper(int index) const {
+  SF_CHECK(index >= 0 && index <= n_ + 1);
+  if (index == 0) return min_;
+  if (index == n_ + 1) return std::numeric_limits<double>::infinity();
+  return std::exp(log_min_ + index / inv_log_step_);
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  // Never destroyed: instruments may be touched during static teardown.
+  static auto* r = new Registry();
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.counter) {
+    SF_CHECK(!e.gauge && !e.histogram)
+        << "metric" << name << "already registered with another kind";
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.gauge) {
+    SF_CHECK(!e.counter && !e.histogram)
+        << "metric" << name << "already registered with another kind";
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, double min_value,
+                               double max_value, int num_buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.histogram) {
+    SF_CHECK(!e.counter && !e.gauge)
+        << "metric" << name << "already registered with another kind";
+    e.histogram =
+        std::make_unique<Histogram>(min_value, max_value, num_buckets);
+  } else {
+    SF_CHECK(e.histogram->min_value() == min_value &&
+             e.histogram->max_value() == max_value &&
+             e.histogram->num_buckets() == num_buckets)
+        << "histogram" << name << "re-registered with a different layout";
+  }
+  return *e.histogram;
+}
+
+std::vector<MetricSample> Registry::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricSample s;
+    s.name = name;
+    if (e.counter) {
+      s.kind = MetricSample::Kind::kCounter;
+      s.value = static_cast<double>(e.counter->value());
+    } else if (e.gauge) {
+      s.kind = MetricSample::Kind::kGauge;
+      s.value = e.gauge->value();
+    } else {
+      s.kind = MetricSample::Kind::kHistogram;
+      s.value = e.histogram->sum();
+      s.count = e.histogram->count();
+      const int n = e.histogram->num_buckets();
+      s.buckets.reserve(static_cast<size_t>(n) + 2);
+      for (int i = 0; i <= n + 1; ++i) {
+        s.buckets.push_back(e.histogram->bucket_count(i));
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Registry::to_text() const {
+  std::ostringstream os;
+  for (const MetricSample& s : samples()) {
+    os << s.name;
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        os << " " << static_cast<int64_t>(s.value);
+        break;
+      case MetricSample::Kind::kGauge:
+        os << " " << s.value;
+        break;
+      case MetricSample::Kind::kHistogram:
+        os << " count=" << s.count << " sum=" << s.value << " buckets=";
+        for (size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i) os << ',';
+          os << s.buckets[i];
+        }
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+}  // namespace sf::obs

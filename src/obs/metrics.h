@@ -1,0 +1,134 @@
+// Thread-safe metrics: counters, gauges, and log-bucketed histograms.
+//
+// Instruments are owned by a process-wide Registry and addressed by name;
+// the returned references are stable for the life of the process (reset()
+// zeroes values but never invalidates an instrument), so hot paths may
+// cache them:
+//
+//   static auto& retries = obs::Registry::global().counter("loader.retries");
+//   retries.add();
+//
+// All mutation is lock-free (relaxed atomics): counters and gauges are
+// single atomics, histograms an atomic count per bucket. Relaxed ordering
+// is enough because metrics are monotonic telemetry, not synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sf::obs {
+
+class Counter {
+ public:
+  void add(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram over fixed log-spaced buckets: `num_buckets` buckets spanning
+/// [min_value, max_value) geometrically, plus an underflow bucket (index
+/// 0) and an overflow bucket (index num_buckets + 1). Log spacing matches
+/// the quantities traced here — kernel/prep times spread over three
+/// decades (Fig. 4), which linear buckets cannot resolve.
+class Histogram {
+ public:
+  Histogram(double min_value, double max_value, int num_buckets);
+
+  void observe(double v);
+
+  /// Bucket that observe(v) lands in (0 = underflow, num_buckets()+1 =
+  /// overflow).
+  int bucket_index(double v) const;
+
+  int num_buckets() const { return n_; }
+  int64_t bucket_count(int index) const {
+    return counts_[static_cast<size_t>(index)].load(
+        std::memory_order_relaxed);
+  }
+  /// Inclusive lower bound of bucket `index` (underflow: -inf analogue 0).
+  double bucket_lower(int index) const;
+  double bucket_upper(int index) const;
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const int64_t c = count();
+    return c == 0 ? 0.0 : sum() / static_cast<double>(c);
+  }
+
+  double min_value() const { return min_; }
+  double max_value() const { return max_; }
+
+  void reset();
+
+ private:
+  double min_, max_;
+  int n_;
+  double log_min_, inv_log_step_;
+  std::vector<std::atomic<int64_t>> counts_;  ///< n_ + 2 incl. under/over
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Snapshot row for export.
+struct MetricSample {
+  std::string name;
+  enum class Kind { kCounter, kGauge, kHistogram } kind;
+  double value = 0.0;             ///< counter/gauge value; histogram sum
+  int64_t count = 0;              ///< histogram observation count
+  std::vector<int64_t> buckets;   ///< histogram per-bucket counts
+};
+
+class Registry {
+ public:
+  /// Process-wide instance (never destroyed).
+  static Registry& global();
+
+  /// Find-or-create by name. A name always refers to one instrument;
+  /// asking for an existing name with a different instrument kind (or
+  /// histogram layout) throws sf::Error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, double min_value,
+                       double max_value, int num_buckets);
+
+  /// Stable-ordered (by name) snapshot of every instrument.
+  std::vector<MetricSample> samples() const;
+
+  /// One metric per line: "name value" / "name count=N sum=S buckets=...".
+  std::string to_text() const;
+
+  /// Zero every instrument's value; instruments stay registered so cached
+  /// references remain valid (tests call this in teardown).
+  void reset_values();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace sf::obs

@@ -1,0 +1,222 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace sf::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+/// Per-thread event buffer. Only the owning thread appends; the exporter
+/// reads under the same (uncontended in steady state) mutex, so snapshots
+/// taken while other threads are still tracing are race-free.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t track = 0;
+};
+
+struct Collector {
+  std::mutex mu;
+  // shared_ptr so buffers survive their owning thread: events emitted by
+  // short-lived workers (loader threads, pool workers) stay exportable.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_track = 1;
+};
+
+// Never destroyed: spans may fire during static teardown of other TUs.
+Collector& collector() {
+  static auto* c = new Collector();
+  return *c;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    b->track = c.next_track++;
+    c.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void append(TraceEvent ev) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(ev));
+}
+
+bool env_enabled() {
+  const char* v = std::getenv("SCALEFOLD_TRACE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", ch);
+          out += hex;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{env_enabled()};
+}  // namespace detail
+
+void set_trace_enabled(bool on) {
+  if (on) trace_epoch();  // pin the clock zero before the first span
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   trace_epoch())
+      .count();
+}
+
+void emit_span(const char* category, std::string name, double ts_us,
+               double dur_us, uint32_t track, int64_t arg) {
+  if (!trace_enabled()) return;
+  append({category, std::move(name), track, ts_us, std::max(0.0, dur_us),
+          arg});
+}
+
+void emit_instant(const char* category, std::string name,
+                  uint32_t track_offset, int64_t arg) {
+  if (!trace_enabled()) return;
+  TraceEvent ev{category, std::move(name), 0, trace_now_us(), -1.0, arg};
+  ev.track = local_buffer().track + track_offset;
+  append(std::move(ev));
+}
+
+void TraceSpan::begin(const char* category, const char* name, int64_t arg) {
+  category_ = category;
+  name_ = name;
+  arg_ = arg;
+  active_ = true;
+  start_us_ = trace_now_us();
+}
+
+void TraceSpan::end() {
+  const double end_us = trace_now_us();
+  TraceEvent ev{category_, std::move(name_), 0, start_us_,
+                end_us - start_us_, arg_};
+  ev.track = local_buffer().track;
+  append(std::move(ev));
+}
+
+std::vector<TraceEvent> snapshot() {
+  std::vector<TraceEvent> out;
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> block(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.track != b.track) return a.track < b.track;
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+size_t event_count() {
+  size_t n = 0;
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> block(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void reset() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> block(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::string to_chrome_json() {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    json_escape(out, ev.name);
+    out += "\",\"cat\":\"";
+    json_escape(out, ev.category);
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.track);
+    out += ",\"ts\":";
+    append_number(out, ev.ts_us);
+    if (ev.dur_us >= 0.0) {
+      out += ",\"ph\":\"X\",\"dur\":";
+      append_number(out, ev.dur_us);
+    } else {
+      out += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    if (ev.arg >= 0) {
+      out += ",\"args\":{\"id\":";
+      out += std::to_string(ev.arg);
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  SF_CHECK(f.good()) << "cannot open trace file" << path;
+  const std::string json = to_chrome_json();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  f.flush();
+  SF_CHECK(f.good()) << "failed writing trace file" << path;
+}
+
+}  // namespace sf::obs

@@ -1,0 +1,127 @@
+// Low-overhead span tracer (the profiling substrate behind Table 1,
+// Fig. 8 and Fig. 9).
+//
+// Production code marks scoped regions with
+//
+//   SF_TRACE_SPAN("loader", "prep");          // literal name: zero-alloc
+//   SF_TRACE_SPAN_ID("loader", "prep", idx);  // + integer arg ("id")
+//
+// Disabled tracing (the default) costs one relaxed atomic load per site —
+// the same discipline as SF_FAULT_POINT — so spans can live on kernel hot
+// paths. When enabled (set_trace_enabled(true) or SCALEFOLD_TRACE=1 in
+// the environment), each thread appends complete-span events to its own
+// buffer under a private, uncontended mutex; the exporter serializes the
+// union as Chrome-trace-format JSON ("traceEvents") loadable in
+// chrome://tracing or Perfetto.
+//
+// Two kinds of timeline coexist:
+//   - measured spans (TraceSpan RAII): wall time on the emitting thread,
+//     track = that thread's id;
+//   - synthetic spans (emit_span with explicit ts/dur): used by the
+//     cluster simulator to lay out a *simulated* step timeline, track
+//     chosen by the emitter so each scenario gets its own Chrome row.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sf::obs {
+
+/// One trace event. Timestamps are microseconds (fractional: sub-us
+/// kernels stay visible) on the trace clock — zero at process start for
+/// measured spans, emitter-defined for synthetic ones.
+struct TraceEvent {
+  const char* category = "";  ///< static-storage string (a literal)
+  std::string name;
+  uint32_t track = 0;   ///< Chrome "tid": thread id or synthetic row
+  double ts_us = 0.0;   ///< span start
+  double dur_us = -1.0; ///< span duration; < 0 marks an instant event
+  int64_t arg = -1;     ///< optional integer payload; >= 0 exported as
+                        ///< args:{"id":...} (batch index, step, ...)
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// Fast path: true when spans are being recorded.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flip recording on/off. Also settable at startup via SCALEFOLD_TRACE=1.
+void set_trace_enabled(bool on);
+
+/// Microseconds since process start on the steady trace clock.
+double trace_now_us();
+
+/// Append a complete span with explicit timestamps (synthetic timelines).
+/// No-op while tracing is disabled.
+void emit_span(const char* category, std::string name, double ts_us,
+               double dur_us, uint32_t track = 0, int64_t arg = -1);
+
+/// Append an instant event (a point marker). No-op while disabled.
+void emit_instant(const char* category, std::string name,
+                  uint32_t track_offset = 0, int64_t arg = -1);
+
+/// RAII measured span on the calling thread. Construction while tracing
+/// is disabled does nothing beyond the enabled check.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name, int64_t arg = -1) {
+    if (trace_enabled()) begin(category, name, arg);
+  }
+  /// By-reference so a disabled site never copies the string.
+  TraceSpan(const char* category, const std::string& name, int64_t arg = -1) {
+    if (trace_enabled()) begin(category, name.c_str(), arg);
+  }
+  ~TraceSpan() {
+    if (active_) end();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void begin(const char* category, const char* name, int64_t arg);
+  void end();
+
+  const char* category_ = nullptr;
+  std::string name_;
+  double start_us_ = 0.0;
+  int64_t arg_ = -1;
+  bool active_ = false;
+};
+
+/// Copy of every buffered event across all threads, stably ordered by
+/// (track, ts).
+std::vector<TraceEvent> snapshot();
+
+/// Total buffered events (cheaper than snapshot().size()).
+size_t event_count();
+
+/// Drop all buffered events (thread buffers stay registered).
+void reset();
+
+/// Serialize the buffered events as Chrome trace format JSON.
+std::string to_chrome_json();
+
+/// Write to_chrome_json() to `path`. Throws sf::Error on I/O failure.
+void write_chrome_trace(const std::string& path);
+
+}  // namespace sf::obs
+
+#define SF_OBS_CONCAT2(a, b) a##b
+#define SF_OBS_CONCAT(a, b) SF_OBS_CONCAT2(a, b)
+
+/// Scoped measured span; name must outlive the scope (use literals or a
+/// std::string lvalue).
+#define SF_TRACE_SPAN(category, name) \
+  ::sf::obs::TraceSpan SF_OBS_CONCAT(sf_trace_span_, __LINE__)(category, name)
+
+/// Scoped span carrying an integer id (batch index, rank, step, ...).
+#define SF_TRACE_SPAN_ID(category, name, id)                            \
+  ::sf::obs::TraceSpan SF_OBS_CONCAT(sf_trace_span_, __LINE__)(category, \
+                                                               name, id)

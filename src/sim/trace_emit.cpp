@@ -1,0 +1,49 @@
+#include "sim/trace_emit.h"
+
+#include "obs/trace.h"
+
+namespace sf::sim {
+namespace {
+
+/// Append one child span of `seconds` at the cursor; advances the cursor.
+void child(const char* category, const char* name, double seconds,
+           double& cursor_us, uint32_t track) {
+  if (seconds <= 0.0) return;
+  obs::emit_span(category, name, cursor_us, seconds * 1e6, track);
+  cursor_us += seconds * 1e6;
+}
+
+}  // namespace
+
+double emit_step_trace(const std::string& label, const StepStats& s,
+                       double t0_us, uint32_t track) {
+  if (!obs::trace_enabled()) return t0_us;
+  // Parent first: Chrome nests by containment, and the children below sum
+  // exactly to mean_step_s (nominal phases + E[max] noise split into
+  // data_wait + imbalance).
+  obs::emit_span("sim.step", "step:" + label, t0_us, s.mean_step_s * 1e6,
+                 track);
+  double cursor = t0_us;
+  child("sim.step", "compute", s.compute_s, cursor, track);
+  child("sim.step", "serial", s.serial_s, cursor, track);
+  child("sim.step", "optimizer", s.optimizer_s, cursor, track);
+  child("sim.step", "cpu_overhead", s.cpu_overhead_s, cursor, track);
+  child("sim.step", "dap_comm", s.dap_comm_s, cursor, track);
+  child("sim.step", "grad_comm", s.grad_comm_s, cursor, track);
+  child("sim.step", "data_wait", s.data_wait_s, cursor, track);
+  child("sim.step", "imbalance", s.imbalance_s, cursor, track);
+  return t0_us + s.mean_step_s * 1e6;
+}
+
+double emit_ttt_trace(const std::string& label, const TttResult& r,
+                      double t0_us, uint32_t track) {
+  if (!obs::trace_enabled()) return t0_us;
+  obs::emit_span("sim.ttt", "ttt:" + label, t0_us, r.total_s * 1e6, track);
+  double cursor = t0_us;
+  child("sim.ttt", "init", r.init_s, cursor, track);
+  child("sim.ttt", "train", r.train_s, cursor, track);
+  child("sim.ttt", "eval", r.eval_s, cursor, track);
+  return t0_us + r.total_s * 1e6;
+}
+
+}  // namespace sf::sim

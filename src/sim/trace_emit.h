@@ -1,0 +1,33 @@
+// Simulated-timeline trace emission.
+//
+// The cluster simulator computes per-step phase durations analytically;
+// these helpers lay them out as synthetic Chrome-trace spans so the same
+// trace.json viewer (chrome://tracing / Perfetto) that shows measured
+// loader/kernel/trainer spans also shows the simulated Fig. 8 step
+// waterfall and the Fig. 9 time-to-train breakdown. Each scenario goes on
+// its own track (Chrome row); spans nest one parent "step:<label>" over
+// one child per StepStats phase, children laid end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cluster.h"
+#include "sim/ttt.h"
+
+namespace sf::sim {
+
+/// Emit one simulated step as nested spans starting at t0_us on `track`.
+/// Children cover compute / serial / optimizer / cpu_overhead / dap_comm /
+/// grad_comm / data_wait / imbalance (zero-length phases are skipped).
+/// Returns the end timestamp (t0_us + mean_step_s in us) so consecutive
+/// calls tile a timeline. No-op (returns t0_us) while tracing is disabled.
+double emit_step_trace(const std::string& label, const StepStats& s,
+                       double t0_us, uint32_t track);
+
+/// Emit a fault-free time-to-train run as init / train / eval spans under
+/// one parent, on `track`. Returns the end timestamp.
+double emit_ttt_trace(const std::string& label, const TttResult& r,
+                      double t0_us, uint32_t track);
+
+}  // namespace sf::sim

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "sim/calibration.h"
 
 namespace sf::sim {
@@ -107,12 +108,25 @@ FailureTttResult time_to_train_under_failures(const TttConfig& cfg,
       // No checkpoint after the final segment: the run is done.
       const double seg = seg_work + (final_seg ? 0.0 : fm.checkpoint_write_seconds);
       if (wall + seg <= next_fail) {
+        if (t == 0) {
+          obs::emit_span("sim.ttt", "work", wall * 1e6, seg_work * 1e6, 200);
+          if (!final_seg) {
+            obs::emit_span("sim.ttt", "ckpt", (wall + seg_work) * 1e6,
+                           fm.checkpoint_write_seconds * 1e6, 200);
+          }
+        }
         wall += seg;
         saved += seg_work;
         if (!final_seg) ckpt += fm.checkpoint_write_seconds;
       } else {
         // Everything since the last checkpoint is rolled back, including a
         // partially written checkpoint if the failure lands mid-write.
+        if (t == 0) {
+          obs::emit_span("sim.ttt", "lost", wall * 1e6,
+                         (next_fail - wall) * 1e6, 200);
+          obs::emit_span("sim.ttt", "restart", next_fail * 1e6,
+                         fm.restart_seconds * 1e6, 200);
+        }
         lost += next_fail - wall;
         ++failures;
         wall = next_fail + fm.restart_seconds;

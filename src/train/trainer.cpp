@@ -7,6 +7,8 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "train/checkpoint.h"
 
 namespace sf::train {
@@ -55,6 +57,7 @@ StepResult Trainer::train_step(const data::Batch& batch) {
 StepResult Trainer::train_step_accumulated(
     std::span<const data::Batch> batches) {
   SF_CHECK(!batches.empty());
+  SF_TRACE_SPAN_ID("train", "step", opt_.step_count());
   Timer timer;
   StepResult result;
   // AlphaFold samples the recycling depth once per step.
@@ -67,10 +70,16 @@ StepResult Trainer::train_step_accumulated(
   double loss_acc = 0.0, lddt_acc = 0.0;
   const float inv_b = 1.0f / static_cast<float>(batches.size());
   for (const auto& batch : batches) {
-    auto out = net_.forward(batch, result.recycles, /*compute_loss=*/true);
+    model::ModelOutput out = [&] {
+      SF_TRACE_SPAN_ID("train", "forward", batch.index);
+      return net_.forward(batch, result.recycles, /*compute_loss=*/true);
+    }();
     // Scale so accumulated grads average over the local batch.
     autograd::Var scaled = autograd::scale(out.loss, inv_b);
-    autograd::backward(scaled);
+    {
+      SF_TRACE_SPAN_ID("train", "backward", batch.index);
+      autograd::backward(scaled);
+    }
     loss_acc += out.loss.value().at(0);
     lddt_acc += out.lddt;
   }
@@ -86,6 +95,8 @@ StepResult Trainer::train_step_accumulated(
     if (!std::isfinite(loss_acc) || !std::isfinite(norm)) {
       opt_.zero_grad();
       ++skipped_steps_;
+      obs::Registry::global().counter("train.skipped_steps").add();
+      obs::emit_instant("train", "skipped_step", 0, opt_.step_count());
       result.skipped = true;
       result.grad_norm = norm;
       result.seconds = timer.elapsed();
@@ -95,13 +106,20 @@ StepResult Trainer::train_step_accumulated(
     }
   }
 
-  opt_.step(current_lr_scale());
+  {
+    SF_TRACE_SPAN("train", "optimizer");
+    opt_.step(current_lr_scale());
+  }
   result.grad_norm = opt_.last_grad_norm();
   result.seconds = timer.elapsed();
+  obs::Registry::global()
+      .histogram("train.step_seconds", 1e-4, 1e3, 24)
+      .observe(result.seconds);
   return result;
 }
 
 std::string Trainer::checkpoint_to(const std::string& dir, int keep_last) {
+  SF_TRACE_SPAN_ID("train", "checkpoint.save", opt_.step_count());
   std::map<std::string, Tensor> tensors;
   for (const auto& [name, v] : net_.params().named()) {
     tensors.emplace(name, v.value());
@@ -113,6 +131,7 @@ std::string Trainer::checkpoint_to(const std::string& dir, int keep_last) {
 }
 
 int64_t Trainer::resume_from(const std::string& dir) {
+  SF_TRACE_SPAN("train", "checkpoint.load");
   std::map<std::string, Tensor> tensors;
   const int64_t step = CheckpointManager(dir).load_latest(tensors);
   if (step < 0) return -1;

@@ -197,6 +197,51 @@ TEST(ThreadPool, StressManySmallTasks) {
   EXPECT_EQ(sum.load(), 5000LL * 4999 / 2);
 }
 
+TEST(ThreadPool, ThrowingTaskDoesNotTerminateAndRethrows) {
+  // Regression: an exception escaping worker_loop used to hit
+  // std::terminate and strand active_ (wait_idle hung forever). Now the
+  // worker survives and the first exception resurfaces at wait_idle().
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw Error("task boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), Error);
+  EXPECT_EQ(ran.load(), 10);  // workers kept draining the queue
+  EXPECT_EQ(pool.failed_tasks(), 1);
+  pool.wait_idle();  // error was cleared by the first rethrow
+}
+
+TEST(ThreadPool, CheckRethrowsFirstErrorOnceAndCountsRest) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  // Drain without consuming the error via wait_idle's rethrow path.
+  try {
+    pool.wait_idle();
+    FAIL() << "expected a task exception";
+  } catch (const std::exception& e) {
+    // Either task may have run first; both must be counted.
+    SUCCEED();
+  }
+  EXPECT_EQ(pool.failed_tasks(), 2);
+  pool.check();  // cleared: does not throw again
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  ThreadPool pool(4);
+  pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), Error);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.failed_tasks(), 1);
+}
+
 TEST(Error, SfCheckThrowsWithContext) {
   try {
     SF_CHECK(1 == 2) << "custom" << 42;

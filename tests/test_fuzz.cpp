@@ -189,8 +189,8 @@ TEST(LoaderFuzz, ExactlyOnceUnderRandomSchedules) {
     }
     ASSERT_EQ(got.size(), static_cast<size_t>(n)) << "trial " << trial;
     if (lc.policy == data::YieldPolicy::kInOrder) {
-      ASSERT_TRUE(std::is_sorted(loader.stats().yield_order.begin(),
-                                 loader.stats().yield_order.end()));
+      const auto order = loader.stats_snapshot().yield_order;
+      ASSERT_TRUE(std::is_sorted(order.begin(), order.end()));
     }
   }
 }

@@ -138,11 +138,34 @@ TEST(Loader, StatsTrackWaitAndOrder) {
   PrefetchLoader loader(delayed_batches(delays), 3,
                         config(YieldPolicy::kInOrder, 2, 4));
   while (loader.has_next()) loader.next();
-  const auto& s = loader.stats();
+  const auto s = loader.stats_snapshot();
   EXPECT_EQ(s.batches_yielded, 3);
   EXPECT_EQ(s.yield_order.size(), 3u);
   EXPECT_EQ(s.prep_seconds.size(), 3u);
   EXPECT_GT(s.consumer_wait_seconds, 0.0);
+}
+
+TEST(Loader, StatsSnapshotSafeWhileWorkersRun) {
+  // Regression: stats() used to hand out a reference into mutex-guarded
+  // state, racing the workers. Only the locked snapshot remains; polling
+  // it concurrently with prep/yield must be TSan-clean and consistent.
+  const int64_t n = 30;
+  PrefetchLoader loader(delayed_batches(std::vector<int>(n, 3)), n,
+                        config(YieldPolicy::kReadyFirst, 3, 6));
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load()) {
+      const auto s = loader.stats_snapshot();
+      EXPECT_LE(s.batches_yielded, n);
+      EXPECT_EQ(s.yield_order.size(),
+                static_cast<size_t>(s.batches_yielded));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  while (loader.has_next()) loader.next();
+  done.store(true);
+  poller.join();
+  EXPECT_EQ(loader.stats_snapshot().batches_yielded, n);
 }
 
 TEST(Loader, NextPastEndThrows) {
@@ -254,8 +277,9 @@ TEST_F(LoaderFault, TransientPrepFailuresAreRetriedAndDelivered) {
     EXPECT_TRUE(got.insert(loader.next().index).second);
   }
   EXPECT_EQ(got.size(), static_cast<size_t>(n));
-  EXPECT_GT(loader.stats().retries, 0);
-  EXPECT_EQ(loader.stats().worker_deaths, 0);
+  const auto s = loader.stats_snapshot();
+  EXPECT_GT(s.retries, 0);
+  EXPECT_EQ(s.worker_deaths, 0);
 }
 
 TEST_F(LoaderFault, ExhaustedRetriesSurfaceFirstErrorWithBatchIndex) {
@@ -278,7 +302,7 @@ TEST_F(LoaderFault, ExhaustedRetriesSurfaceFirstErrorWithBatchIndex) {
     EXPECT_NE(msg.find("injected fault at loader.prep"), std::string::npos)
         << msg;
   }
-  EXPECT_GE(loader.stats().retries, 2);
+  EXPECT_GE(loader.stats_snapshot().retries, 2);
 }
 
 TEST_F(LoaderFault, WorkerKillMidRunStillDeliversExactlyOnce) {
