@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "kernels/attention.h"
 #include "obs/trace.h"
@@ -369,6 +370,81 @@ void BM_LayerNormFusedTracedOff(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LayerNormFusedTracedOff);
+
+// ---- intra-op thread scaling (SF_NUM_THREADS sweep) ---------------------
+// Each benchmark takes the thread count as its last range argument and
+// pins it via sf::set_num_threads; bench_parallel_scaling is the
+// JSON-emitting CI gate, these give the same sweep inside the google-
+// benchmark harness for quick comparisons.
+
+void BM_GemmThreads(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  auto a = randoms(dim * dim, 1);
+  auto b = randoms(dim * dim, 2);
+  std::vector<float> c(dim * dim);
+  sf::set_num_threads(threads);
+  for (auto _ : state) {
+    gemm(a.data(), b.data(), c.data(), dim, dim, dim);
+    benchmark::DoNotOptimize(c.data());
+  }
+  sf::set_num_threads(0);
+  state.SetItemsProcessed(state.iterations() * dim * dim * dim * 2);
+}
+BENCHMARK(BM_GemmThreads)
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})->Args({256, 8});
+
+void BM_MhaFlashThreads(benchmark::State& state) {
+  AttentionDims d = mha_dims(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  auto q = randoms(d.qkv_numel(true), 1);
+  auto k = randoms(d.qkv_numel(false), 2);
+  auto v = randoms(d.qkv_numel(false), 3);
+  auto bias = randoms(d.bias_numel(), 4);
+  std::vector<float> out(d.qkv_numel(true));
+  sf::set_num_threads(threads);
+  for (auto _ : state) {
+    mha_forward_flash(d, q.data(), k.data(), v.data(), bias.data(), nullptr,
+                      out.data(), nullptr, 64);
+    benchmark::DoNotOptimize(out.data());
+  }
+  sf::set_num_threads(0);
+}
+BENCHMARK(BM_MhaFlashThreads)
+    ->Args({128, 1})->Args({128, 2})->Args({128, 4})->Args({128, 8});
+
+void BM_LayerNormFusedThreads(benchmark::State& state) {
+  const int64_t rows = 8192, cols = 256;
+  const int threads = static_cast<int>(state.range(0));
+  auto x = randoms(rows * cols, 1);
+  auto gamma = randoms(cols, 2);
+  auto beta = randoms(cols, 3);
+  std::vector<float> y(rows * cols);
+  sf::set_num_threads(threads);
+  for (auto _ : state) {
+    layernorm_forward_fused(x.data(), gamma.data(), beta.data(), y.data(),
+                            rows, cols, 1e-5f, nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  sf::set_num_threads(0);
+  state.SetBytesProcessed(state.iterations() * rows * cols * 8);
+}
+BENCHMARK(BM_LayerNormFusedThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FusedAdamThreads(benchmark::State& state) {
+  OptState st(64, 16384);
+  const int threads = static_cast<int>(state.range(0));
+  AdamHyper h;
+  int64_t step = 0;
+  sf::set_num_threads(threads);
+  for (auto _ : state) {
+    ++step;
+    fused_adam_swa_step(st.chunks, h, step, 0.999f);
+    benchmark::DoNotOptimize(st.chunks.data());
+  }
+  sf::set_num_threads(0);
+}
+BENCHMARK(BM_FusedAdamThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_LayerNormBf16Large(benchmark::State& state) {
   const int64_t rows = 32768, cols = 256;  // 16 MB activations

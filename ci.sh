@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
 # CI entry point: build + test three times — a plain RelWithDebInfo pass,
 # an ASan+UBSan pass, and a TSan pass over the concurrency-heavy suites
-# (thread pool, prefetch loader, fault injection, tracer/metrics) so data
-# races surface on every change.
+# (thread pool, parallel_for substrate, parallel kernels, prefetch loader,
+# fault injection, tracer/metrics) so data races surface on every change.
+#
+# The plain suite runs twice: once with intra-op parallelism pinned to a
+# single thread and once at SF_NUM_THREADS=4, because every parallelized
+# kernel guarantees bitwise-identical outputs across thread counts and
+# both configurations must stay green. bench_parallel_scaling --check then
+# verifies that guarantee directly (memcmp per kernel) and — on hosts with
+# >= 4 hardware threads — enforces >= 1.5x aggregate GEMM speedup at 4
+# threads.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,7 +19,13 @@ JOBS="$(nproc)"
 echo "==> plain build"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+echo "==> tests at SF_NUM_THREADS=1"
+SF_NUM_THREADS=1 ctest --test-dir build --output-on-failure -j "$JOBS"
+echo "==> tests at SF_NUM_THREADS=4"
+SF_NUM_THREADS=4 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> parallel scaling + bitwise determinism gate"
+./build/bench/bench_parallel_scaling --check --out build/BENCH_kernels.json
 
 echo "==> address,undefined sanitizer build"
 cmake -B build-asan -S . -DSCALEFOLD_SANITIZE=address,undefined >/dev/null
@@ -21,8 +35,8 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 echo "==> thread sanitizer build (concurrency suites)"
 cmake -B build-tsan -S . -DSCALEFOLD_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  test_common test_fault test_obs test_loader test_data
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R '^(test_common|test_fault|test_obs|test_loader|test_data)$'
+  test_common test_parallel test_gemm test_fault test_obs test_loader test_data
+SF_NUM_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R '^(test_common|test_parallel|test_gemm|test_fault|test_obs|test_loader|test_data)$'
 
 echo "==> all green"

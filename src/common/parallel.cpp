@@ -1,0 +1,178 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace sf {
+namespace {
+
+/// Upper bound on chunks per loop: enough slack for dynamic load balance
+/// at any sane thread count, small enough that per-chunk dispatch stays
+/// negligible. A fixed constant (not a function of the thread count) so
+/// the split — and every reduction order built on it — is reproducible.
+constexpr int64_t kMaxChunksPerLoop = 64;
+
+std::atomic<int> g_thread_override{0};
+thread_local bool t_in_parallel_region = false;
+
+int default_threads() {
+  static const int cached = [] {
+    if (const char* s = std::getenv("SF_NUM_THREADS"); s && *s) {
+      int v = std::atoi(s);
+      if (v >= 1) return v;
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }();
+  return cached;
+}
+
+// Process-wide compute pool, created lazily at first parallel call and
+// replaced by a bigger one if a later set_num_threads() asks for more
+// workers. In-flight regions hold a shared_ptr, so a replaced pool drains
+// its queued helpers and joins once the last region releases it.
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;
+
+std::shared_ptr<ThreadPool> pool_with_at_least(int workers) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool || static_cast<int>(g_pool->size()) < workers) {
+    g_pool = std::make_shared<ThreadPool>(static_cast<size_t>(workers));
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+int num_threads() {
+  int o = g_thread_override.load(std::memory_order_relaxed);
+  return o >= 1 ? o : default_threads();
+}
+
+void set_num_threads(int n) {
+  g_thread_override.store(n >= 1 ? n : 0, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
+namespace detail {
+
+int64_t chunk_count(int64_t n, int64_t grain) {
+  if (n <= 0) return 0;
+  if (grain < 1) grain = 1;
+  const int64_t by_grain = (n + grain - 1) / grain;
+  return std::min<int64_t>(by_grain, kMaxChunksPerLoop);
+}
+
+ChunkRange chunk_bounds(int64_t n, int64_t n_chunks, int64_t idx) {
+  const int64_t base = n / n_chunks;
+  const int64_t rem = n % n_chunks;
+  ChunkRange r;
+  r.begin = idx * base + std::min(idx, rem);
+  r.end = r.begin + base + (idx < rem ? 1 : 0);
+  return r;
+}
+
+void run_chunks(int64_t n_chunks, const std::function<void(int64_t)>& body) {
+  if (n_chunks <= 0) return;
+  const int threads = num_threads();
+  if (n_chunks == 1 || threads <= 1 || t_in_parallel_region) {
+    // Inline path: single chunk, single-threaded config, or a nested call
+    // from inside a parallel region (waiting on the pool from one of its
+    // own workers could deadlock it). Chunk order is ascending, matching
+    // the fixed combine order of reductions.
+    for (int64_t c = 0; c < n_chunks; ++c) body(c);
+    return;
+  }
+
+  struct State {
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr first_error;
+    int helpers_live = 0;
+  };
+  auto state = std::make_shared<State>();
+  const int64_t total = n_chunks;
+
+  // One chunk claimed per fetch_add; assignment order is irrelevant to the
+  // results (chunks are data-disjoint, reductions combine by index).
+  auto drain = [state, total, &body] {
+    int64_t c;
+    while ((c = state->next_chunk.fetch_add(1,
+                                            std::memory_order_relaxed)) <
+           total) {
+      if (state->failed.load(std::memory_order_relaxed)) continue;
+      try {
+        body(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->first_error) state->first_error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const int helpers =
+      static_cast<int>(std::min<int64_t>(threads - 1, n_chunks - 1));
+  auto pool = pool_with_at_least(helpers);
+  state->helpers_live = helpers;
+  for (int h = 0; h < helpers; ++h) {
+    // Helpers reference `drain` state via the shared_ptr; the caller waits
+    // for every helper to finish before returning, so the captured
+    // reference to `body` stays valid for the helpers' whole lifetime.
+    pool->submit([state, drain] {
+      t_in_parallel_region = true;
+      drain();
+      t_in_parallel_region = false;
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->helpers_live == 0) state->cv.notify_all();
+    });
+  }
+
+  // The caller participates: progress is guaranteed even when the pool is
+  // busy with other regions' helpers.
+  t_in_parallel_region = true;
+  drain();
+  t_in_parallel_region = false;
+
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->helpers_live == 0; });
+    if (state->first_error) {
+      std::exception_ptr e = state->first_error;
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+}  // namespace detail
+
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int64_t chunks = detail::chunk_count(n, grain);
+  if (chunks == 1) {
+    // Fast path: no chunk-index indirection for small ranges.
+    body(begin, end);
+    return;
+  }
+  detail::run_chunks(chunks, [&](int64_t c) {
+    ChunkRange r = detail::chunk_bounds(n, chunks, c);
+    body(begin + r.begin, begin + r.end);
+  });
+}
+
+}  // namespace sf

@@ -17,6 +17,7 @@ void ScaleFoldOptions::sync_dims() {
   if (aux_losses) model.aux_losses = true;
   train.opt.fused = fused_optimizer;
   train.opt.bucketed_grad_norm = bucketed_grad_norm;
+  if (num_threads > 0) train.num_threads = num_threads;
 }
 
 sim::Toggles ScaleFoldOptions::sim_toggles() const {

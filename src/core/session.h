@@ -40,6 +40,10 @@ struct ScaleFoldOptions {
 
   int loader_workers = 2;
   int loader_prefetch = 4;
+  /// Intra-op kernel threads; 0 = process default (SF_NUM_THREADS env or
+  /// hardware concurrency). Forwarded into train.num_threads by
+  /// sync_dims(). Results are bitwise-identical at any value.
+  int num_threads = 0;
   int64_t eval_samples = 4;
   int64_t eval_every_steps = 0;  ///< 0 = no periodic evaluation
   int64_t eval_recycles = 1;

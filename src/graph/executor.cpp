@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 
 namespace sf::graph {
@@ -98,7 +99,10 @@ void Executor::run_eager(const Program& program) {
       stats_.dispatch_seconds += dispatch_timer.elapsed();
       ++stats_.total_launches;
     }
-    obs::TraceSpan span(op_kind_trace_category(op.kind), op.name);
+    // Kernel spans carry the intra-op thread count so trace consumers can
+    // attribute timing shifts to SF_NUM_THREADS.
+    obs::TraceSpan span(op_kind_trace_category(op.kind), op.name,
+                        sf::num_threads());
     Timer kernel_timer;
     run_op_body(op);
     auto& pk = stats_.by_kind[op.kind];

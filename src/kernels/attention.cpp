@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "obs/trace.h"
 #include "kernels/softmax.h"
 
@@ -17,23 +18,60 @@ inline float dot(const float* a, const float* b, int64_t n) {
   return acc;
 }
 
+// dbias accumulates over the batch dimension: (b,h) work items from
+// different b write the same dbias[h] slice, so the parallel backward
+// kernels reduce it in two deterministic stages — per-chunk partial
+// buffers (chunk split depends only on the item count, never the thread
+// count) combined in fixed chunk order afterwards. The same chunked path
+// runs at one thread so outputs are bitwise identical at any
+// SF_NUM_THREADS.
+struct BiasPartials {
+  int64_t chunks = 0;
+  int64_t numel = 0;
+  std::vector<float> data;  ///< [chunks, numel], zero-initialized
+
+  BiasPartials(int64_t n_chunks, int64_t bias_numel, bool enabled)
+      : chunks(n_chunks), numel(bias_numel) {
+    if (enabled) data.assign(static_cast<size_t>(chunks) * numel, 0.0f);
+  }
+  float* chunk(int64_t c) {
+    return data.empty() ? nullptr : data.data() + c * numel;
+  }
+  void combine_into(float* dbias) const {
+    if (data.empty()) return;
+    std::memset(dbias, 0, sizeof(float) * numel);
+    // Column-parallel combine: each column sums its per-chunk partials in
+    // ascending chunk order (fixed reduction tree).
+    parallel_for(0, numel, 1 << 12, [&](int64_t i0, int64_t i1) {
+      for (int64_t c = 0; c < chunks; ++c) {
+        const float* part = data.data() + c * numel;
+        for (int64_t i = i0; i < i1; ++i) dbias[i] += part[i];
+      }
+    });
+  }
+};
+
 }  // namespace
 
 void mha_forward_naive(const AttentionDims& d, const float* q, const float* k,
                        const float* v, const float* pair_bias,
                        const float* mask, float* out, AttentionContext* ctx) {
-  SF_TRACE_SPAN("kernel", "mha_fwd_naive");
+  SF_TRACE_SPAN_ID("kernel", "mha_fwd_naive", num_threads());
   SF_CHECK(d.head_dim > 0);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
   const int64_t logits_per_bh = d.q_len * d.k_len;
   if (ctx) ctx->probs.assign(d.batch * d.heads * logits_per_bh, 0.0f);
 
-  std::vector<float> logits(logits_per_bh);
-  for (int64_t b = 0; b < d.batch; ++b) {
-    for (int64_t h = 0; h < d.heads; ++h) {
-      const float* qb = q + ((b * d.heads + h) * d.q_len) * d.head_dim;
-      const float* kb = k + ((b * d.heads + h) * d.k_len) * d.head_dim;
-      const float* vb = v + ((b * d.heads + h) * d.k_len) * d.head_dim;
+  // Parallel over (batch, head) work items: each item owns a disjoint
+  // slice of out (and ctx->probs), mirroring one thread block per (b,h).
+  parallel_for(0, d.batch * d.heads, 1, [&](int64_t bh0, int64_t bh1) {
+    std::vector<float> logits(logits_per_bh);
+    for (int64_t bh = bh0; bh < bh1; ++bh) {
+      const int64_t b = bh / d.heads;
+      const int64_t h = bh % d.heads;
+      const float* qb = q + (bh * d.q_len) * d.head_dim;
+      const float* kb = k + (bh * d.k_len) * d.head_dim;
+      const float* vb = v + (bh * d.k_len) * d.head_dim;
       const float* bias_h = pair_bias ? pair_bias + h * logits_per_bh : nullptr;
       const float* mask_b = mask ? mask + b * d.k_len : nullptr;
 
@@ -59,11 +97,11 @@ void mha_forward_naive(const AttentionDims& d, const float* q, const float* k,
       // Kernel 4: softmax.
       softmax_forward(logits.data(), logits.data(), d.q_len, d.k_len);
       if (ctx) {
-        std::memcpy(ctx->probs.data() + (b * d.heads + h) * logits_per_bh,
-                    logits.data(), sizeof(float) * logits_per_bh);
+        std::memcpy(ctx->probs.data() + bh * logits_per_bh, logits.data(),
+                    sizeof(float) * logits_per_bh);
       }
       // Kernel 5: PV.
-      float* ob = out + ((b * d.heads + h) * d.q_len) * d.head_dim;
+      float* ob = out + (bh * d.q_len) * d.head_dim;
       for (int64_t i = 0; i < d.q_len; ++i) {
         float* orow = ob + i * d.head_dim;
         std::memset(orow, 0, sizeof(float) * d.head_dim);
@@ -75,14 +113,14 @@ void mha_forward_naive(const AttentionDims& d, const float* q, const float* k,
         }
       }
     }
-  }
+  });
 }
 
 void mha_backward_naive(const AttentionDims& d, const float* q, const float* k,
                         const float* v, const float* dout,
                         const AttentionContext& ctx, float* dq, float* dk,
                         float* dv, float* dbias) {
-  SF_TRACE_SPAN("kernel", "mha_bwd_naive");
+  SF_TRACE_SPAN_ID("kernel", "mha_bwd_naive", num_threads());
   const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
   const int64_t logits_per_bh = d.q_len * d.k_len;
   SF_CHECK(static_cast<int64_t>(ctx.probs.size()) ==
@@ -92,14 +130,19 @@ void mha_backward_naive(const AttentionDims& d, const float* q, const float* k,
   std::memset(dq, 0, sizeof(float) * d.qkv_numel(true));
   std::memset(dk, 0, sizeof(float) * d.qkv_numel(false));
   std::memset(dv, 0, sizeof(float) * d.qkv_numel(false));
-  if (dbias) std::memset(dbias, 0, sizeof(float) * d.bias_numel());
 
-  std::vector<float> dprobs(logits_per_bh);
-  std::vector<float> dlogits(logits_per_bh);
+  const int64_t items = d.batch * d.heads;
+  const int64_t n_chunks = detail::chunk_count(items, 1);
+  BiasPartials partials(n_chunks, d.bias_numel(), dbias != nullptr);
 
-  for (int64_t b = 0; b < d.batch; ++b) {
-    for (int64_t h = 0; h < d.heads; ++h) {
-      const int64_t bh = b * d.heads + h;
+  detail::run_chunks(n_chunks, [&](int64_t chunk) {
+    const ChunkRange r = detail::chunk_bounds(items, n_chunks, chunk);
+    std::vector<float> dprobs(logits_per_bh);
+    std::vector<float> dlogits(logits_per_bh);
+    float* part_dbias = partials.chunk(chunk);
+
+    for (int64_t bh = r.begin; bh < r.end; ++bh) {
+      const int64_t h = bh % d.heads;
       const float* probs = ctx.probs.data() + bh * logits_per_bh;
       const float* qb = q + (bh * d.q_len) * d.head_dim;
       const float* kb = k + (bh * d.k_len) * d.head_dim;
@@ -128,9 +171,10 @@ void mha_backward_naive(const AttentionDims& d, const float* q, const float* k,
       }
       // dLogits = softmax backward of dP.
       softmax_backward(probs, dprobs.data(), dlogits.data(), d.q_len, d.k_len);
-      // dBias accumulates dLogits over the batch dimension.
-      if (dbias) {
-        float* dbias_h = dbias + h * logits_per_bh;
+      // dBias accumulates dLogits over the batch dimension — into this
+      // chunk's private partial buffer (stage 1 of the reduction).
+      if (part_dbias) {
+        float* dbias_h = part_dbias + h * logits_per_bh;
         for (int64_t i = 0; i < logits_per_bh; ++i) dbias_h[i] += dlogits[i];
       }
       // dQ += scale * dLogits K ; dK += scale * dLogits^T Q
@@ -150,23 +194,25 @@ void mha_backward_naive(const AttentionDims& d, const float* q, const float* k,
         }
       }
     }
-  }
+  });
+  if (dbias) partials.combine_into(dbias);
 }
 
 void mha_forward_flash(const AttentionDims& d, const float* q, const float* k,
                        const float* v, const float* pair_bias,
                        const float* mask, float* out, AttentionContext* ctx,
                        int64_t k_tile) {
-  SF_TRACE_SPAN("kernel", "mha_fwd_flash");
+  SF_TRACE_SPAN_ID("kernel", "mha_fwd_flash", num_threads());
   SF_CHECK(d.head_dim > 0);
   SF_CHECK(k_tile > 0);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
   if (ctx) ctx->lse.assign(d.batch * d.heads * d.q_len, 0.0f);
 
-  std::vector<float> tile_logits(k_tile);
-  for (int64_t b = 0; b < d.batch; ++b) {
-    for (int64_t h = 0; h < d.heads; ++h) {
-      const int64_t bh = b * d.heads + h;
+  parallel_for(0, d.batch * d.heads, 1, [&](int64_t bh0, int64_t bh1) {
+    std::vector<float> tile_logits(k_tile);
+    for (int64_t bh = bh0; bh < bh1; ++bh) {
+      const int64_t b = bh / d.heads;
+      const int64_t h = bh % d.heads;
       const float* qb = q + (bh * d.q_len) * d.head_dim;
       const float* kb = k + (bh * d.k_len) * d.head_dim;
       const float* vb = v + (bh * d.k_len) * d.head_dim;
@@ -214,7 +260,7 @@ void mha_forward_flash(const AttentionDims& d, const float* q, const float* k,
         if (ctx) ctx->lse[bh * d.q_len + i] = m + std::log(std::max(l, 1e-30f));
       }
     }
-  }
+  });
 }
 
 void mha_backward_flash(const AttentionDims& d, const float* q, const float* k,
@@ -222,7 +268,7 @@ void mha_backward_flash(const AttentionDims& d, const float* q, const float* k,
                         const float* mask, const float* out, const float* dout,
                         const AttentionContext& ctx, float* dq, float* dk,
                         float* dv, float* dbias, int64_t k_tile) {
-  SF_TRACE_SPAN("kernel", "mha_bwd_flash");
+  SF_TRACE_SPAN_ID("kernel", "mha_bwd_flash", num_threads());
   const float scale = 1.0f / std::sqrt(static_cast<float>(d.head_dim));
   SF_CHECK(static_cast<int64_t>(ctx.lse.size()) == d.batch * d.heads * d.q_len)
       << "flash backward requires lse saved by flash forward";
@@ -230,11 +276,18 @@ void mha_backward_flash(const AttentionDims& d, const float* q, const float* k,
   std::memset(dq, 0, sizeof(float) * d.qkv_numel(true));
   std::memset(dk, 0, sizeof(float) * d.qkv_numel(false));
   std::memset(dv, 0, sizeof(float) * d.qkv_numel(false));
-  if (dbias) std::memset(dbias, 0, sizeof(float) * d.bias_numel());
 
-  for (int64_t b = 0; b < d.batch; ++b) {
-    for (int64_t h = 0; h < d.heads; ++h) {
-      const int64_t bh = b * d.heads + h;
+  const int64_t items = d.batch * d.heads;
+  const int64_t n_chunks = detail::chunk_count(items, 1);
+  BiasPartials partials(n_chunks, d.bias_numel(), dbias != nullptr);
+
+  detail::run_chunks(n_chunks, [&](int64_t chunk) {
+    const ChunkRange r = detail::chunk_bounds(items, n_chunks, chunk);
+    float* part_dbias = partials.chunk(chunk);
+
+    for (int64_t bh = r.begin; bh < r.end; ++bh) {
+      const int64_t b = bh / d.heads;
+      const int64_t h = bh % d.heads;
       const float* qb = q + (bh * d.q_len) * d.head_dim;
       const float* kb = k + (bh * d.k_len) * d.head_dim;
       const float* vb = v + (bh * d.k_len) * d.head_dim;
@@ -246,7 +299,8 @@ void mha_backward_flash(const AttentionDims& d, const float* q, const float* k,
       float* dqb = dq + (bh * d.q_len) * d.head_dim;
       float* dkb = dk + (bh * d.k_len) * d.head_dim;
       float* dvb = dv + (bh * d.k_len) * d.head_dim;
-      float* dbias_h = dbias ? dbias + h * d.q_len * d.k_len : nullptr;
+      float* dbias_h =
+          part_dbias ? part_dbias + h * d.q_len * d.k_len : nullptr;
 
       for (int64_t i = 0; i < d.q_len; ++i) {
         const float* qi = qb + i * d.head_dim;
@@ -282,7 +336,8 @@ void mha_backward_flash(const AttentionDims& d, const float* q, const float* k,
         }
       }
     }
-  }
+  });
+  if (dbias) partials.combine_into(dbias);
 }
 
 }  // namespace sf::kernels

@@ -4,80 +4,118 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace sf::kernels {
+namespace {
 
-void to_bf16(const float* src, BFloat16* dst, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) dst[i] = BFloat16(src[i]);
-}
+constexpr int64_t kEwGrain = 1 << 14;
 
-void from_bf16(const BFloat16* src, float* dst, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) dst[i] = src[i].to_float();
-}
-
-void axpb_f32(const float* x, float* y, int64_t n, float a, float b) {
-  for (int64_t i = 0; i < n; ++i) y[i] = a * x[i] + b;
-}
-
-void axpb_bf16(const BFloat16* x, BFloat16* y, int64_t n, float a, float b) {
-  // Branchless fast-path load/store so the loop auto-vectorizes.
-  const uint16_t* xb = &x[0].bits;
-  uint16_t* yb = &y[0].bits;
-  for (int64_t i = 0; i < n; ++i) {
-    yb[i] = bf16_store_fast(a * bf16_load(xb[i]) + b);
-  }
-}
-
-float reduce_f32(const float* x, int64_t n) {
+// Chunk body shared by the serial and parallel reduce paths: the 4-way
+// unrolled accumulator pattern applied to one sub-range.
+float reduce_f32_range(const float* x, int64_t begin, int64_t end) {
   float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-  int64_t i = 0;
-  for (; i + 4 <= n; i += 4) {
+  int64_t i = begin;
+  for (; i + 4 <= end; i += 4) {
     acc0 += x[i];
     acc1 += x[i + 1];
     acc2 += x[i + 2];
     acc3 += x[i + 3];
   }
-  for (; i < n; ++i) acc0 += x[i];
+  for (; i < end; ++i) acc0 += x[i];
   return acc0 + acc1 + acc2 + acc3;
 }
 
-float reduce_bf16(const BFloat16* x, int64_t n) {
-  const uint16_t* xb = &x[0].bits;
+float reduce_bf16_range(const uint16_t* xb, int64_t begin, int64_t end) {
   float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-  int64_t i = 0;
-  for (; i + 4 <= n; i += 4) {
+  int64_t i = begin;
+  for (; i + 4 <= end; i += 4) {
     acc0 += bf16_load(xb[i]);
     acc1 += bf16_load(xb[i + 1]);
     acc2 += bf16_load(xb[i + 2]);
     acc3 += bf16_load(xb[i + 3]);
   }
-  for (; i < n; ++i) acc0 += bf16_load(xb[i]);
+  for (; i < end; ++i) acc0 += bf16_load(xb[i]);
   return acc0 + acc1 + acc2 + acc3;
+}
+
+}  // namespace
+
+void to_bf16(const float* src, BFloat16* dst, int64_t n) {
+  parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dst[i] = BFloat16(src[i]);
+  });
+}
+
+void from_bf16(const BFloat16* src, float* dst, int64_t n) {
+  parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dst[i] = src[i].to_float();
+  });
+}
+
+void axpb_f32(const float* x, float* y, int64_t n, float a, float b) {
+  parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) y[i] = a * x[i] + b;
+  });
+}
+
+void axpb_bf16(const BFloat16* x, BFloat16* y, int64_t n, float a, float b) {
+  if (n == 0) return;
+  // Branchless fast-path load/store so the loop auto-vectorizes.
+  const uint16_t* xb = &x[0].bits;
+  uint16_t* yb = &y[0].bits;
+  parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      yb[i] = bf16_store_fast(a * bf16_load(xb[i]) + b);
+    }
+  });
+}
+
+float reduce_f32(const float* x, int64_t n) {
+  // Deterministic chunked reduction: fixed chunk split (independent of
+  // thread count), partials combined in chunk order.
+  return parallel_reduce<float>(
+      0, n, kEwGrain, 0.0f,
+      [&](int64_t b, int64_t e) { return reduce_f32_range(x, b, e); },
+      [](float a, float b) { return a + b; });
+}
+
+float reduce_bf16(const BFloat16* x, int64_t n) {
+  if (n == 0) return 0.0f;
+  const uint16_t* xb = &x[0].bits;
+  return parallel_reduce<float>(
+      0, n, kEwGrain, 0.0f,
+      [&](int64_t b, int64_t e) { return reduce_bf16_range(xb, b, e); },
+      [](float a, float b) { return a + b; });
 }
 
 void layernorm_forward_fused_bf16(const BFloat16* x, const float* gamma,
                                   const float* beta, BFloat16* y,
                                   int64_t rows, int64_t cols, float eps) {
   SF_CHECK(rows >= 0 && cols > 0);
-  for (int64_t r = 0; r < rows; ++r) {
-    const BFloat16* xr = x + r * cols;
-    double s = 0.0, sq = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      double v = xr[c].to_float();
-      s += v;
-      sq += v * v;
+  const int64_t grain =
+      std::max<int64_t>(1, kEwGrain / std::max<int64_t>(1, cols));
+  parallel_for(0, rows, grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const BFloat16* xr = x + r * cols;
+      double s = 0.0, sq = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        double v = xr[c].to_float();
+        s += v;
+        sq += v * v;
+      }
+      float mean = static_cast<float>(s / cols);
+      float var = static_cast<float>(sq / cols) - mean * mean;
+      float rstd = 1.0f / std::sqrt(std::max(var, 0.0f) + eps);
+      BFloat16* yr = y + r * cols;
+      uint16_t* yb = &yr[0].bits;
+      const uint16_t* xb = &xr[0].bits;
+      for (int64_t c = 0; c < cols; ++c) {
+        yb[c] = bf16_store_fast((bf16_load(xb[c]) - mean) * rstd * gamma[c] +
+                                beta[c]);
+      }
     }
-    float mean = static_cast<float>(s / cols);
-    float var = static_cast<float>(sq / cols) - mean * mean;
-    float rstd = 1.0f / std::sqrt(std::max(var, 0.0f) + eps);
-    BFloat16* yr = y + r * cols;
-    uint16_t* yb = &yr[0].bits;
-    const uint16_t* xb = &xr[0].bits;
-    for (int64_t c = 0; c < cols; ++c) {
-      yb[c] = bf16_store_fast((bf16_load(xb[c]) - mean) * rstd * gamma[c] +
-                              beta[c]);
-    }
-  }
+  });
 }
 
 void gemm_bf16(const BFloat16* a, const BFloat16* b, float* c, int64_t m,
@@ -85,21 +123,27 @@ void gemm_bf16(const BFloat16* a, const BFloat16* b, float* c, int64_t m,
   SF_CHECK(m >= 0 && k >= 0 && n >= 0);
   std::fill(c, c + m * n, 0.0f);
   constexpr int64_t kTileK = 128;
-  for (int64_t k0 = 0; k0 < k; k0 += kTileK) {
-    int64_t k1 = std::min(k0 + kTileK, k);
-    for (int64_t i = 0; i < m; ++i) {
-      float* c_row = c + i * n;
-      const BFloat16* a_row = a + i * k;
-      for (int64_t kk = k0; kk < k1; ++kk) {
-        float a_ik = a_row[kk].to_float();
-        if (a_ik == 0.0f) continue;
-        const BFloat16* b_row = b + kk * n;
-        for (int64_t j = 0; j < n; ++j) {
-          c_row[j] += a_ik * b_row[j].to_float();
+  // Parallel over C rows; per-row k order is ascending across tiles either
+  // way, so the split leaves results unchanged.
+  const int64_t grain =
+      std::max<int64_t>(1, (int64_t{1} << 15) / std::max<int64_t>(1, k * n));
+  parallel_for(0, m, grain, [&](int64_t i_begin, int64_t i_end) {
+    for (int64_t k0 = 0; k0 < k; k0 += kTileK) {
+      int64_t k1 = std::min(k0 + kTileK, k);
+      for (int64_t i = i_begin; i < i_end; ++i) {
+        float* c_row = c + i * n;
+        const BFloat16* a_row = a + i * k;
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          float a_ik = a_row[kk].to_float();
+          if (a_ik == 0.0f) continue;
+          const BFloat16* b_row = b + kk * n;
+          for (int64_t j = 0; j < n; ++j) {
+            c_row[j] += a_ik * b_row[j].to_float();
+          }
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace sf::kernels

@@ -1,11 +1,21 @@
 #include "kernels/elementwise.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "obs/trace.h"
 
 namespace sf::kernels {
 namespace {
+
+// Flat-chunk grain for parallel elementwise sweeps: ~16K elements per
+// chunk keeps tiny tensors serial and big ones bandwidth-bound per thread.
+constexpr int64_t kEwGrain = 1 << 14;
+
+int64_t row_grain_for(int64_t cols) {
+  return std::max<int64_t>(1, kEwGrain / std::max<int64_t>(1, cols));
+}
 
 // tanh-approximation GELU (the variant used by most transformer stacks).
 inline float gelu_scalar(float x) {
@@ -29,65 +39,87 @@ inline float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 }  // namespace
 
 void relu_forward(const float* x, float* y, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  });
 }
 
 void relu_backward(const float* x, const float* dy, float* dx, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+  parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+  });
 }
 
 void gelu_forward(const float* x, float* y, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) y[i] = gelu_scalar(x[i]);
+  parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) y[i] = gelu_scalar(x[i]);
+  });
 }
 
 void gelu_backward(const float* x, const float* dy, float* dx, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) dx[i] = dy[i] * gelu_grad_scalar(x[i]);
+  parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dx[i] = dy[i] * gelu_grad_scalar(x[i]);
+  });
 }
 
 void sigmoid_forward(const float* x, float* y, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) y[i] = sigmoid_scalar(x[i]);
+  parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) y[i] = sigmoid_scalar(x[i]);
+  });
 }
 
 void sigmoid_backward_from_output(const float* y, const float* dy, float* dx,
                                   int64_t n) {
-  for (int64_t i = 0; i < n; ++i) dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+  parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+  });
 }
 
 void bias_add(const float* x, const float* bias, float* y, int64_t rows,
               int64_t cols) {
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * cols;
-    float* yr = y + r * cols;
-    for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] + bias[c];
-  }
+  parallel_for(0, rows, row_grain_for(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] + bias[c];
+    }
+  });
 }
 
 void fused_bias_gelu(const float* x, const float* bias, float* y, int64_t rows,
                      int64_t cols) {
-  SF_TRACE_SPAN("kernel", "fused_bias_gelu");
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * cols;
-    float* yr = y + r * cols;
-    for (int64_t c = 0; c < cols; ++c) yr[c] = gelu_scalar(xr[c] + bias[c]);
-  }
+  SF_TRACE_SPAN_ID("kernel", "fused_bias_gelu", num_threads());
+  parallel_for(0, rows, row_grain_for(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      for (int64_t c = 0; c < cols; ++c) yr[c] = gelu_scalar(xr[c] + bias[c]);
+    }
+  });
 }
 
 void add_forward(const float* a, const float* b, float* y, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) y[i] = a[i] + b[i];
+  parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) y[i] = a[i] + b[i];
+  });
 }
 
 void fused_glu_forward(const float* x, const float* gate, float* y,
                        int64_t n) {
-  for (int64_t i = 0; i < n; ++i) y[i] = sigmoid_scalar(gate[i]) * x[i];
+  parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) y[i] = sigmoid_scalar(gate[i]) * x[i];
+  });
 }
 
 void fused_glu_backward(const float* x, const float* gate, const float* dy,
                         float* dx, float* dgate, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) {
-    float s = sigmoid_scalar(gate[i]);
-    dx[i] = dy[i] * s;
-    dgate[i] = dy[i] * x[i] * s * (1.0f - s);
-  }
+  parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      float s = sigmoid_scalar(gate[i]);
+      dx[i] = dy[i] * s;
+      dgate[i] = dy[i] * x[i] * s * (1.0f - s);
+    }
+  });
 }
 
 }  // namespace sf::kernels

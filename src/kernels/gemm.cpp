@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "obs/trace.h"
 
 namespace sf::kernels {
@@ -15,6 +17,18 @@ constexpr int64_t kTileM = 32;
 constexpr int64_t kTileN = 64;
 constexpr int64_t kTileK = 128;
 
+// Square tile for the pack/transpose of trans_a/trans_b operands: both the
+// read and the write stay within a tile that fits L1.
+constexpr int64_t kTransposeTile = 32;
+
+// Minimum multiply-accumulate work (~k*n per row) a parallel chunk should
+// carry; below this the row loop stays serial.
+constexpr int64_t kGemmGrainWork = 1 << 15;
+
+// Minimum elements per chunk for the flat memory passes (beta scaling,
+// operand packing).
+constexpr int64_t kMemGrain = 1 << 14;
+
 inline const float* row_ptr(const float* base, int64_t row, int64_t ld) {
   return base + row * ld;
 }
@@ -24,11 +38,18 @@ inline void axpy(float a_ik, const float* b_row, float* c_row, int64_t n) {
   for (int64_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
 }
 
-// A[M,K] * B[K,N] with both untransposed — the hot path.
-void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k,
-             int64_t n, float alpha) {
-  for (int64_t i0 = 0; i0 < m; i0 += kTileM) {
-    int64_t i1 = std::min(i0 + kTileM, m);
+int64_t row_grain(int64_t k, int64_t n) {
+  return std::max<int64_t>(1, kGemmGrainWork / std::max<int64_t>(1, k * n));
+}
+
+// A[M,K] * B[K,N] over the row range [i_begin, i_end): the tiled inner
+// body shared by the serial and parallel paths. Per-row accumulation walks
+// k ascending across tiles, so results are independent of how the row
+// range was split (determinism across thread counts).
+void gemm_nn_rows(const float* a, const float* b, float* c, int64_t i_begin,
+                  int64_t i_end, int64_t k, int64_t n, float alpha) {
+  for (int64_t i0 = i_begin; i0 < i_end; i0 += kTileM) {
+    int64_t i1 = std::min(i0 + kTileM, i_end);
     for (int64_t k0 = 0; k0 < k; k0 += kTileK) {
       int64_t k1 = std::min(k0 + kTileK, k);
       for (int64_t j0 = 0; j0 < n; j0 += kTileN) {
@@ -46,51 +67,110 @@ void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k,
   }
 }
 
+// A[M,K] * B[K,N] with both untransposed — the hot path, parallel over
+// M-row blocks (each chunk owns a disjoint slice of C).
+void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n, float alpha) {
+  parallel_for(0, m, row_grain(k, n), [&](int64_t i0, int64_t i1) {
+    gemm_nn_rows(a, b, c, i0, i1, k, n, alpha);
+  });
+}
+
+// Blocked out-of-place transpose: src is [rows, cols] row-major, dst
+// becomes [cols, rows]. Both loops are tiled so each kTransposeTile^2
+// block is read and written while hot; parallel over dst rows (disjoint
+// writes). This is the packing step that turns the transposed-operand
+// GEMM paths into the cache-blocked gemm_nn tiling.
+void transpose_blocked(const float* src, float* dst, int64_t rows,
+                       int64_t cols) {
+  const int64_t grain = std::max<int64_t>(1, kMemGrain / std::max<int64_t>(
+                                                             1, rows));
+  parallel_for(0, cols, grain, [&](int64_t j_begin, int64_t j_end) {
+    for (int64_t j0 = j_begin; j0 < j_end; j0 += kTransposeTile) {
+      int64_t j1 = std::min(j0 + kTransposeTile, j_end);
+      for (int64_t i0 = 0; i0 < rows; i0 += kTransposeTile) {
+        int64_t i1 = std::min(i0 + kTransposeTile, rows);
+        for (int64_t j = j0; j < j1; ++j) {
+          float* d_row = dst + j * rows;
+          for (int64_t i = i0; i < i1; ++i) d_row[i] = src[i * cols + j];
+        }
+      }
+    }
+  });
+}
+
+void scale_or_zero(float* c, int64_t numel, float beta) {
+  if (beta == 0.0f) {
+    parallel_for(0, numel, kMemGrain, [&](int64_t b, int64_t e) {
+      std::memset(c + b, 0, sizeof(float) * (e - b));
+    });
+  } else if (beta != 1.0f) {
+    parallel_for(0, numel, kMemGrain, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) c[i] *= beta;
+    });
+  }
+}
+
 }  // namespace
 
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool trans_a, bool trans_b, float alpha, float beta) {
   SF_CHECK(m >= 0 && k >= 0 && n >= 0);
-  if (beta == 0.0f) {
-    std::memset(c, 0, sizeof(float) * m * n);
-  } else if (beta != 1.0f) {
-    for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
-  }
+  SF_TRACE_SPAN_ID("kernel", "gemm", num_threads());
+  scale_or_zero(c, m * n, beta);
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
-  if (!trans_a && !trans_b) {
-    gemm_nn(a, b, c, m, k, n, alpha);
-    return;
+  // Transposed operands (every linear backward pass) are packed into
+  // row-major layout once, then run through the same blocked gemm_nn
+  // tiling as the forward path — replacing the former unblocked triple
+  // loops. Pack cost is O(M*K) / O(K*N) memory traffic, amortized over
+  // the O(M*K*N) multiply.
+  std::vector<float> a_pack, b_pack;
+  if (trans_a) {
+    a_pack.resize(static_cast<size_t>(m) * k);
+    transpose_blocked(a, a_pack.data(), k, m);  // stored [K,M] -> [M,K]
+    a = a_pack.data();
   }
+  if (trans_b) {
+    b_pack.resize(static_cast<size_t>(k) * n);
+    transpose_blocked(b, b_pack.data(), n, k);  // stored [N,K] -> [K,N]
+    b = b_pack.data();
+  }
+  gemm_nn(a, b, c, m, k, n, alpha);
+}
 
-  // General (transposed) paths: simple triple loop ordered for row-major
-  // access of C. These are used by backward passes where one operand is
-  // naturally transposed.
-  auto a_at = [&](int64_t i, int64_t kk) {
-    return trans_a ? a[kk * m + i] : a[i * k + kk];
-  };
-  auto b_at = [&](int64_t kk, int64_t j) {
-    return trans_b ? b[j * k + kk] : b[kk * n + j];
-  };
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float a_ik = alpha * a_at(i, kk);
-      if (a_ik == 0.0f) continue;
-      float* c_row = c + i * n;
-      if (!trans_b) {
-        axpy(a_ik, b + kk * n, c_row, n);
-      } else {
-        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ik * b_at(kk, j);
-      }
+void gemm_batched(std::span<const float* const> as,
+                  std::span<const float* const> bs, std::span<float* const> cs,
+                  int64_t m, int64_t k, int64_t n, float alpha, float beta) {
+  SF_CHECK(as.size() == bs.size());
+  SF_CHECK(as.size() == cs.size());
+  SF_TRACE_SPAN_ID("kernel", "gemm_batched", num_threads());
+  const int64_t batch = static_cast<int64_t>(as.size());
+  if (batch == 0 || m == 0 || n == 0) return;
+  for (float* c : cs) scale_or_zero(c, m * n, beta);
+  if (k == 0 || alpha == 0.0f) return;
+
+  // One parallel loop over the flattened (batch, row) space: per-item AND
+  // per-row-block parallelism in a single grain-controlled split, the CPU
+  // analogue of launching the whole batch as one grid.
+  const int64_t grain = row_grain(k, n);
+  parallel_for(0, batch * m, grain, [&](int64_t begin, int64_t end) {
+    int64_t r = begin;
+    while (r < end) {
+      const int64_t item = r / m;
+      const int64_t i0 = r % m;
+      const int64_t i1 = std::min<int64_t>(m, i0 + (end - r));
+      gemm_nn_rows(as[item], bs[item], cs[item], i0, i1, k, n, alpha);
+      r += i1 - i0;
     }
-  }
+  });
 }
 
 void linear_group_separate(const float* x, int64_t m, int64_t k,
                            std::span<const float* const> weights,
                            std::span<const int64_t> out_dims,
                            std::span<float* const> outs) {
-  SF_TRACE_SPAN("kernel", "qkv_gemm_separate");
+  SF_TRACE_SPAN_ID("kernel", "qkv_gemm_separate", num_threads());
   SF_CHECK(weights.size() == out_dims.size());
   SF_CHECK(weights.size() == outs.size());
   // Each call walks the whole of X again — this is the unfused baseline the
@@ -104,30 +184,35 @@ void linear_group_batched(const float* x, int64_t m, int64_t k,
                           std::span<const float* const> weights,
                           std::span<const int64_t> out_dims,
                           std::span<float* const> outs) {
-  SF_TRACE_SPAN("kernel", "qkv_gemm_batched");
+  SF_TRACE_SPAN_ID("kernel", "qkv_gemm_batched", num_threads());
   SF_CHECK(weights.size() == out_dims.size());
   SF_CHECK(weights.size() == outs.size());
   for (auto* o : outs) SF_CHECK(o != nullptr);
+  int64_t n_total = 0;
+  for (int64_t n : out_dims) n_total += n;
   // One logical kernel: for each tile of X rows, loop over every group's
   // weight panel while the X tile is hot in cache. X is read once per row
-  // tile instead of once per group.
-  for (int64_t i0 = 0; i0 < m; i0 += kTileM) {
-    int64_t i1 = std::min(i0 + kTileM, m);
-    for (size_t g = 0; g < weights.size(); ++g) {
-      int64_t n = out_dims[g];
-      const float* w = weights[g];
-      float* out = outs[g];
-      for (int64_t i = i0; i < i1; ++i) {
-        float* c_row = out + i * n;
-        std::memset(c_row, 0, sizeof(float) * n);
-        const float* x_row = x + i * k;
-        for (int64_t kk = 0; kk < k; ++kk) {
-          float a_ik = x_row[kk];
-          if (a_ik != 0.0f) axpy(a_ik, w + kk * n, c_row, n);
+  // tile instead of once per group. Parallel over row tiles: every chunk
+  // owns a disjoint row slice of all group outputs.
+  parallel_for(0, m, row_grain(k, n_total), [&](int64_t r0, int64_t r1) {
+    for (int64_t i0 = r0; i0 < r1; i0 += kTileM) {
+      int64_t i1 = std::min(i0 + kTileM, r1);
+      for (size_t g = 0; g < weights.size(); ++g) {
+        int64_t n = out_dims[g];
+        const float* w = weights[g];
+        float* out = outs[g];
+        for (int64_t i = i0; i < i1; ++i) {
+          float* c_row = out + i * n;
+          std::memset(c_row, 0, sizeof(float) * n);
+          const float* x_row = x + i * k;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            float a_ik = x_row[kk];
+            if (a_ik != 0.0f) axpy(a_ik, w + kk * n, c_row, n);
+          }
         }
       }
     }
-  }
+  });
 }
 
 void linear_backward_input(const float* dy, const float* w, float* dx,

@@ -19,9 +19,22 @@ namespace sf::kernels {
 /// C[M,N] (+)= alpha * op(A) * op(B), row-major.
 /// op(A) is A[M,K] or A^T with A stored [K,M] when trans_a.
 /// beta == 0 overwrites C, beta == 1 accumulates.
+/// Transposed operands are packed (blocked transpose) into the same
+/// cache-blocked tiling as the untransposed path; all paths are parallel
+/// over M-row blocks via sf::parallel_for and bitwise-deterministic across
+/// thread counts.
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool trans_a = false, bool trans_b = false,
           float alpha = 1.0f, float beta = 0.0f);
+
+/// Batched GEMM: C[i][M,N] (+)= alpha * A[i][M,K] * B[i][K,N] for every
+/// item of the pointer lists (all items share the same dims — the cuBLAS
+/// strided-batch analogue). Parallel over the flattened (item, row) space
+/// so both per-batch-item and intra-item row parallelism are exploited.
+void gemm_batched(std::span<const float* const> as,
+                  std::span<const float* const> bs, std::span<float* const> cs,
+                  int64_t m, int64_t k, int64_t n, float alpha = 1.0f,
+                  float beta = 0.0f);
 
 /// Unbatched path for the pre-attention projections: four separate gemm
 /// calls, each re-reading the shared input X[M,K]. Weight i is W[i][K,N_i];

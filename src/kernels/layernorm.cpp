@@ -6,9 +6,19 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "obs/trace.h"
 
 namespace sf::kernels {
+namespace {
+
+/// Row grain for the parallel fused kernels: enough rows per chunk that a
+/// chunk moves ~64KB, so tiny activations stay serial.
+int64_t ln_row_grain(int64_t cols) {
+  return std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(1, cols));
+}
+
+}  // namespace
 
 void layernorm_forward_naive(const float* x, const float* gamma,
                              const float* beta, float* y, int64_t rows,
@@ -64,15 +74,19 @@ void layernorm_forward_fused(const float* x, const float* gamma,
                              const float* beta, float* y, int64_t rows,
                              int64_t cols, float eps, LayerNormStats* stats,
                              int64_t rows_per_tile) {
-  SF_TRACE_SPAN("kernel", "ln_fwd_fused");
+  SF_TRACE_SPAN_ID("kernel", "ln_fwd_fused", num_threads());
   SF_CHECK(rows >= 0 && cols > 0);
   SF_CHECK(rows_per_tile > 0);
   if (stats) {
     stats->mean.assign(rows, 0.0f);
     stats->rstd.assign(rows, 0.0f);
   }
-  for (int64_t r0 = 0; r0 < rows; r0 += rows_per_tile) {
-    int64_t r1 = std::min(r0 + rows_per_tile, rows);
+  // Parallel over row tiles: every row is independent (disjoint writes to
+  // y and stats), so the split cannot change results.
+  const int64_t grain = std::max(rows_per_tile, ln_row_grain(cols));
+  parallel_for(0, rows, grain, [&](int64_t c0, int64_t c1) {
+  for (int64_t r0 = c0; r0 < c1; r0 += rows_per_tile) {
+    int64_t r1 = std::min(r0 + rows_per_tile, c1);
     // Single pass over each row: sum and sum-of-squares together, no
     // temporaries. The tile loop mirrors one thread block handling
     // multiple small rows.
@@ -97,6 +111,7 @@ void layernorm_forward_fused(const float* x, const float* gamma,
       }
     }
   }
+  });
 }
 
 void layernorm_backward_naive(const float* x, const float* gamma,
@@ -158,18 +173,22 @@ void layernorm_backward_fused(const float* x, const float* gamma,
                               float* dx, float* dgamma, float* dbeta,
                               int64_t rows, int64_t cols,
                               int64_t rows_per_tile) {
-  SF_TRACE_SPAN("kernel", "ln_bwd_fused");
+  SF_TRACE_SPAN_ID("kernel", "ln_bwd_fused", num_threads());
   SF_CHECK(static_cast<int64_t>(stats.mean.size()) == rows);
   SF_CHECK(rows_per_tile > 0);
   int64_t num_tiles = rows == 0 ? 0 : (rows + rows_per_tile - 1) / rows_per_tile;
 
   // Step 1 of the two-step reduction: each tile reduces its rows into a
   // private partial buffer (no cross-tile contention — the design that
-  // replaces atomics in the Triton kernel).
+  // replaces atomics in the Triton kernel). Tiles are keyed to
+  // rows_per_tile, never the thread count, so the partial layout — and
+  // the step-2 summation order — is identical at every SF_NUM_THREADS.
   std::vector<float> part_dgamma(static_cast<size_t>(num_tiles) * cols, 0.0f);
   std::vector<float> part_dbeta(static_cast<size_t>(num_tiles) * cols, 0.0f);
 
-  for (int64_t t = 0; t < num_tiles; ++t) {
+  // Parallel over tiles: each tile owns its dx rows and its partial rows.
+  parallel_for(0, num_tiles, 1, [&](int64_t t0, int64_t t1) {
+  for (int64_t t = t0; t < t1; ++t) {
     int64_t r0 = t * rows_per_tile;
     int64_t r1 = std::min(r0 + rows_per_tile, rows);
     float* pg = part_dgamma.data() + t * cols;
@@ -200,17 +219,21 @@ void layernorm_backward_fused(const float* x, const float* gamma,
       }
     }
   }
-  // Step 2: column-reduce the partials.
+  });
+  // Step 2: column-reduce the partials. Parallel over columns; each
+  // column sums tiles in ascending order (fixed reduction tree).
   std::memset(dgamma, 0, sizeof(float) * cols);
   std::memset(dbeta, 0, sizeof(float) * cols);
-  for (int64_t t = 0; t < num_tiles; ++t) {
-    const float* pg = part_dgamma.data() + t * cols;
-    const float* pb = part_dbeta.data() + t * cols;
-    for (int64_t c = 0; c < cols; ++c) {
-      dgamma[c] += pg[c];
-      dbeta[c] += pb[c];
+  parallel_for(0, cols, 1 << 10, [&](int64_t c0, int64_t c1) {
+    for (int64_t t = 0; t < num_tiles; ++t) {
+      const float* pg = part_dgamma.data() + t * cols;
+      const float* pb = part_dbeta.data() + t * cols;
+      for (int64_t c = c0; c < c1; ++c) {
+        dgamma[c] += pg[c];
+        dbeta[c] += pb[c];
+      }
     }
-  }
+  });
 }
 
 }  // namespace sf::kernels

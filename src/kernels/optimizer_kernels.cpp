@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "obs/trace.h"
 
 namespace sf::kernels {
@@ -76,7 +77,7 @@ void grad_scale_per_tensor(std::span<ParamChunk> chunks, float scale) {
 void fused_adam_swa_step(std::span<const ParamChunk> chunks,
                          const AdamHyper& h, int64_t step, float swa_decay,
                          float grad_scale) {
-  SF_TRACE_SPAN("kernel", "fused_adam_swa");
+  SF_TRACE_SPAN_ID("kernel", "fused_adam_swa", num_threads());
   SF_CHECK(step >= 1);
   const float b1 = h.beta1, b2 = h.beta2;
   const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step));
@@ -86,39 +87,57 @@ void fused_adam_swa_step(std::span<const ParamChunk> chunks,
 
   // One sweep over the packed pointer list; every intermediate lives in
   // registers. Contiguous sub-regions per chunk give the data locality the
-  // paper's thread-block mapping provides.
-  for (const auto& c : chunks) {
-    float* p = c.param;
-    float* g = c.grad;
-    float* m = c.exp_avg;
-    float* v = c.exp_avg_sq;
-    float* s = c.swa;
-    for (int64_t i = 0; i < c.n; ++i) {
-      float gi = g[i] * grad_scale;
-      if (h.weight_decay != 0.0f) gi += h.weight_decay * p[i];
-      float mi = b1 * m[i] + (1.0f - b1) * gi;
-      float vi = b2 * v[i] + (1.0f - b2) * gi * gi;
-      m[i] = mi;
-      v[i] = vi;
-      float update = h.lr * (mi * inv_bc1) / (std::sqrt(vi * inv_bc2) + h.eps);
-      float pi = p[i] - update;
-      p[i] = pi;
-      if (s) s[i] = swa_decay * s[i] + (1.0f - swa_decay) * pi;
-    }
-  }
+  // paper's thread-block mapping provides. Parallel over the flat chunk
+  // list (the multi-tensor grid dimension): every element update is
+  // independent, so any split of the list is bitwise-equivalent.
+  parallel_for(
+      0, static_cast<int64_t>(chunks.size()), 1,
+      [&](int64_t c0, int64_t c1) {
+        for (int64_t ci = c0; ci < c1; ++ci) {
+          const auto& c = chunks[ci];
+          float* p = c.param;
+          float* g = c.grad;
+          float* m = c.exp_avg;
+          float* v = c.exp_avg_sq;
+          float* s = c.swa;
+          for (int64_t i = 0; i < c.n; ++i) {
+            float gi = g[i] * grad_scale;
+            if (h.weight_decay != 0.0f) gi += h.weight_decay * p[i];
+            float mi = b1 * m[i] + (1.0f - b1) * gi;
+            float vi = b2 * v[i] + (1.0f - b2) * gi * gi;
+            m[i] = mi;
+            v[i] = vi;
+            float update =
+                h.lr * (mi * inv_bc1) / (std::sqrt(vi * inv_bc2) + h.eps);
+            float pi = p[i] - update;
+            p[i] = pi;
+            if (s) s[i] = swa_decay * s[i] + (1.0f - swa_decay) * pi;
+          }
+        }
+      });
 }
 
 float grad_norm_bucketed(std::span<const float* const> buckets,
                          std::span<const int64_t> sizes) {
-  SF_TRACE_SPAN("kernel", "grad_norm_bucketed");
+  SF_TRACE_SPAN_ID("kernel", "grad_norm_bucketed", num_threads());
   SF_CHECK(buckets.size() == sizes.size());
-  double acc = 0.0;
-  for (size_t b = 0; b < buckets.size(); ++b) {
-    const float* data = buckets[b];
-    for (int64_t i = 0; i < sizes[b]; ++i) {
-      acc += static_cast<double>(data[i]) * data[i];
-    }
-  }
+  // Parallel over buckets; each bucket's sum-of-squares is accumulated
+  // serially within the bucket and the per-bucket partials are combined
+  // in fixed bucket order, so the norm is bitwise-reproducible at any
+  // thread count.
+  double acc = parallel_reduce<double>(
+      0, static_cast<int64_t>(buckets.size()), 1, 0.0,
+      [&](int64_t b0, int64_t b1) {
+        double part = 0.0;
+        for (int64_t b = b0; b < b1; ++b) {
+          const float* data = buckets[b];
+          for (int64_t i = 0; i < sizes[b]; ++i) {
+            part += static_cast<double>(data[i]) * data[i];
+          }
+        }
+        return part;
+      },
+      [](double a, double b) { return a + b; });
   return static_cast<float>(std::sqrt(acc));
 }
 

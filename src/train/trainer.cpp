@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -31,6 +32,7 @@ Trainer::Trainer(model::MiniAlphaFold& net, TrainConfig config)
       rng_(config.seed) {
   SF_CHECK(config_.min_recycles >= 1);
   SF_CHECK(config_.max_recycles >= config_.min_recycles);
+  if (config_.num_threads > 0) sf::set_num_threads(config_.num_threads);
 }
 
 float Trainer::current_lr_scale() const {

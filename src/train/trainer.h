@@ -36,6 +36,11 @@ struct TrainConfig {
   /// Skip the optimizer update (and count it) when the loss or the
   /// global gradient norm is NaN/Inf, instead of corrupting the weights.
   bool skip_nonfinite_steps = true;
+  /// Intra-op kernel threads (GEMM/attention/LayerNorm/optimizer).
+  /// 0 keeps the process-wide default (SF_NUM_THREADS env or hardware
+  /// concurrency); > 0 pins it via sf::set_num_threads. Kernel outputs
+  /// are bitwise-identical at any setting.
+  int num_threads = 0;
 };
 
 struct StepResult {

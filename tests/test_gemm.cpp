@@ -61,7 +61,88 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmParam{8, 4, 8, false, true},
                       GemmParam{5, 9, 6, true, true},
                       GemmParam{40, 70, 50, true, false},
-                      GemmParam{40, 70, 50, false, true}));
+                      GemmParam{40, 70, 50, false, true},
+                      // All four transpose combos at sizes that are not
+                      // multiples of any pack/tile dimension, so the
+                      // blocked-transpose edge handling is exercised.
+                      GemmParam{33, 65, 17, true, false},
+                      GemmParam{33, 65, 17, false, true},
+                      GemmParam{33, 65, 17, true, true},
+                      GemmParam{40, 70, 50, true, true},
+                      GemmParam{67, 129, 45, false, false},
+                      GemmParam{67, 129, 45, true, false},
+                      GemmParam{67, 129, 45, false, true},
+                      GemmParam{67, 129, 45, true, true}));
+
+TEST(Gemm, TransposedAlphaBetaMatchesReference) {
+  const int64_t m = 33, k = 37, n = 29;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      auto a = random_vec(m * k, 31);
+      auto b = random_vec(k * n, 32);
+      std::vector<float> c(m * n, 0.75f), c_ref(m * n, 0.75f);
+      gemm(a.data(), b.data(), c.data(), m, k, n, ta, tb, 1.5f, 1.0f);
+      ref_gemm(a.data(), b.data(), c_ref.data(), m, k, n, ta, tb, 1.5f, 1.0f);
+      for (int64_t i = 0; i < m * n; ++i) {
+        EXPECT_NEAR(c[i], c_ref[i], 1e-3f)
+            << "ta=" << ta << " tb=" << tb << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST(GemmBatched, MatchesPerItemGemm) {
+  const int64_t items = 6, m = 33, k = 65, n = 17;
+  std::vector<std::vector<float>> as, bs, cs, cs_ref;
+  std::vector<const float*> ap, bp;
+  std::vector<float*> cp;
+  for (int64_t i = 0; i < items; ++i) {
+    as.push_back(random_vec(m * k, 40 + i));
+    bs.push_back(random_vec(k * n, 60 + i));
+    cs.emplace_back(m * n);
+    cs_ref.emplace_back(m * n);
+  }
+  for (int64_t i = 0; i < items; ++i) {
+    ap.push_back(as[i].data());
+    bp.push_back(bs[i].data());
+    cp.push_back(cs[i].data());
+  }
+  gemm_batched(ap, bp, cp, m, k, n);
+  for (int64_t i = 0; i < items; ++i) {
+    ref_gemm(as[i].data(), bs[i].data(), cs_ref[i].data(), m, k, n, false,
+             false, 1.0f, 0.0f);
+    for (int64_t e = 0; e < m * n; ++e) {
+      EXPECT_NEAR(cs[i][e], cs_ref[i][e], 1e-3f)
+          << "item " << i << " elem " << e;
+    }
+  }
+}
+
+TEST(GemmBatched, BetaAccumulates) {
+  const int64_t items = 2, m = 4, k = 5, n = 3;
+  std::vector<std::vector<float>> as, bs, cs, cs_ref;
+  std::vector<const float*> ap, bp;
+  std::vector<float*> cp;
+  for (int64_t i = 0; i < items; ++i) {
+    as.push_back(random_vec(m * k, 80 + i));
+    bs.push_back(random_vec(k * n, 90 + i));
+    cs.emplace_back(m * n, 2.0f);
+    cs_ref.emplace_back(m * n, 2.0f);
+  }
+  for (int64_t i = 0; i < items; ++i) {
+    ap.push_back(as[i].data());
+    bp.push_back(bs[i].data());
+    cp.push_back(cs[i].data());
+  }
+  gemm_batched(ap, bp, cp, m, k, n, 0.5f, 1.0f);
+  for (int64_t i = 0; i < items; ++i) {
+    ref_gemm(as[i].data(), bs[i].data(), cs_ref[i].data(), m, k, n, false,
+             false, 0.5f, 1.0f);
+    for (int64_t e = 0; e < m * n; ++e) {
+      EXPECT_NEAR(cs[i][e], cs_ref[i][e], 1e-4f);
+    }
+  }
+}
 
 TEST(Gemm, AlphaBetaSemantics) {
   auto a = random_vec(6, 3);

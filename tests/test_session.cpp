@@ -214,6 +214,10 @@ TEST(Session, AuxLossesTrainThroughSession) {
 TEST(Session, CheckpointingSessionMatchesPlain) {
   auto a = tiny_options();
   auto b = tiny_options();
+  // Blocking loader: ready-first delivery (§3.2) makes batch *order*
+  // timing-dependent, and this test compares losses step-by-step.
+  a.nonblocking_loader = false;
+  b.nonblocking_loader = false;
   b.gradient_checkpointing = true;
   TrainingSession plain(a), ckpt(b);
   auto ra = plain.run(3);
