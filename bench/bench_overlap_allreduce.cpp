@@ -1,0 +1,305 @@
+// Overlapped vs blocking DP gradient all-reduce (§3.3.1).
+//
+// For world sizes 2 and 4, trains the same model on the same batches
+// through both gradient-communication paths of DataParallelTrainer —
+// blocking per-tensor all-reduce vs bucketed async all-reduce launched by
+// backward hooks (with the grad-clip norm overlapped) — sweeping the
+// bucket capacity, and reports:
+//   - best-of-trials mean step time per configuration,
+//   - whether the overlapped parameters are *bitwise* identical to the
+//     blocking ones after 5 steps (the determinism contract),
+//   - the measured overlap fraction: the share of async-reduce time that
+//     ran concurrently with some rank's backward pass (from the span
+//     tracer) — the quantity calibrating
+//     sim::calib::kGradCommExposedFrac.
+//
+// Output: BENCH_overlap.json (override with --out <path>).
+//
+// --check: exit non-zero on any bitwise mismatch (always), or — on hosts
+// with >= 4 hardware threads — if the overlapped path at world size 4
+// (default bucket size) is slower than blocking, or if no overlap was
+// measured at all.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "data/protein_sample.h"
+#include "obs/trace.h"
+#include "train/data_parallel.h"
+
+using namespace sf;
+
+namespace {
+
+constexpr int kSteps = 5;        // per trial: 1 warmup + 4 timed
+constexpr int kTrials = 3;       // best-of
+constexpr int64_t kDefaultBucket = 64 * 1024;
+const int kWorldSizes[] = {2, 4};
+const int64_t kBucketSweep[] = {16 * 1024, 64 * 1024, 256 * 1024};
+
+model::ModelConfig bench_model() {
+  model::ModelConfig c;
+  c.crop_len = 16;
+  c.msa_rows = 4;
+  c.c_m = 16;
+  c.c_z = 16;
+  c.c_s = 16;
+  c.heads = 2;
+  c.head_dim = 8;
+  c.evoformer_blocks = 2;
+  c.use_extra_msa_stack = false;
+  c.use_template_stack = false;
+  c.opm_dim = 4;
+  c.transition_factor = 2;
+  c.structure_layers = 1;
+  return c;
+}
+
+train::TrainConfig train_cfg(bool overlap, int64_t bucket_bytes) {
+  train::TrainConfig tc;
+  tc.base_lr = 1e-3f;
+  tc.warmup_steps = 0;
+  tc.min_recycles = 1;
+  tc.max_recycles = 1;
+  tc.opt.clip_norm = 5.0f;
+  tc.overlap_grad_comm = overlap;
+  tc.grad_bucket_bytes = bucket_bytes;
+  return tc;
+}
+
+std::vector<data::Batch> make_batches(int n) {
+  data::DatasetConfig c;
+  c.num_samples = n;
+  c.crop_len = 16;
+  c.msa_rows = 4;
+  c.msa_work_cap = 64;
+  c.seed = 31;
+  data::SyntheticProteinDataset ds(c);
+  std::vector<data::Batch> out;
+  for (int i = 0; i < n; ++i) out.push_back(ds.prepare_batch(i));
+  return out;
+}
+
+/// Run kSteps on a fresh trainer; returns the mean of the post-warmup
+/// step times and (via out param) the trainer for param inspection.
+double run_trial(int ws, bool overlap, int64_t bucket_bytes,
+                 const std::vector<data::Batch>& batches,
+                 std::unique_ptr<train::DataParallelTrainer>* keep) {
+  auto dp = std::make_unique<train::DataParallelTrainer>(
+      bench_model(), train_cfg(overlap, bucket_bytes), ws, /*model_seed=*/7);
+  double total = 0.0;
+  for (int s = 0; s < kSteps; ++s) {
+    auto r = dp->train_step(batches);
+    if (s > 0) total += r.seconds;
+  }
+  if (keep) *keep = std::move(dp);
+  return total / (kSteps - 1);
+}
+
+/// Best-of-kTrials mean step time; keeps the first trial's trainer.
+double best_mean_step(int ws, bool overlap, int64_t bucket_bytes,
+                      const std::vector<data::Batch>& batches,
+                      std::unique_ptr<train::DataParallelTrainer>* keep) {
+  double best = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    double mean =
+        run_trial(ws, overlap, bucket_bytes, batches, t == 0 ? keep : nullptr);
+    best = t == 0 ? mean : std::min(best, mean);
+  }
+  return best;
+}
+
+bool params_bitwise_equal(train::DataParallelTrainer& a,
+                          train::DataParallelTrainer& b) {
+  auto pa = a.replica(0).params().all();
+  auto pb = b.replica(0).params().all();
+  if (pa.size() != pb.size()) return false;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    const Tensor& ta = pa[i].value();
+    const Tensor& tb = pb[i].value();
+    if (ta.numel() != tb.numel()) return false;
+    if (std::memcmp(ta.data(), tb.data(), sizeof(float) * ta.numel()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Interval {
+  double lo, hi;
+};
+
+/// Merge to disjoint intervals.
+std::vector<Interval> merged(std::vector<Interval> v) {
+  std::sort(v.begin(), v.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> out;
+  for (const Interval& i : v) {
+    if (!out.empty() && i.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, i.hi);
+    } else {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+/// Share of async-reduce span time that overlapped some rank's backward
+/// span, from the current trace buffer.
+double measured_overlap_fraction() {
+  std::vector<Interval> backward;
+  std::vector<Interval> reduce;
+  for (const obs::TraceEvent& e : obs::snapshot()) {
+    if (e.dur_us <= 0) continue;
+    if (std::strcmp(e.category, "ddp") == 0 && e.name == "backward") {
+      backward.push_back({e.ts_us, e.ts_us + e.dur_us});
+    } else if (std::strcmp(e.category, "dap") == 0 &&
+               e.name == "async_reduce") {
+      reduce.push_back({e.ts_us, e.ts_us + e.dur_us});
+    }
+  }
+  backward = merged(std::move(backward));
+  double total = 0.0, hidden = 0.0;
+  for (const Interval& r : reduce) {
+    total += r.hi - r.lo;
+    for (const Interval& b : backward) {
+      hidden += std::max(0.0, std::min(r.hi, b.hi) - std::max(r.lo, b.lo));
+    }
+  }
+  return total > 0 ? hidden / total : 0.0;
+}
+
+/// Traced overlapped run (separate from the timed trials so tracing
+/// overhead never pollutes the timings).
+double overlap_fraction_for(int ws, int64_t bucket_bytes,
+                            const std::vector<data::Batch>& batches) {
+  obs::reset();
+  obs::set_trace_enabled(true);
+  train::DataParallelTrainer dp(bench_model(), train_cfg(true, bucket_bytes),
+                                ws, 7);
+  for (int s = 0; s < 2; ++s) dp.train_step(batches);
+  obs::set_trace_enabled(false);
+  double frac = measured_overlap_fraction();
+  obs::reset();
+  return frac;
+}
+
+struct Row {
+  int world_size;
+  std::string mode;  // "blocking" | "overlapped"
+  int64_t bucket_bytes;
+  double mean_step_s;
+  bool bitwise_match;
+  double overlap_fraction;
+};
+
+void write_json(const std::vector<Row>& rows, const std::string& path) {
+  std::ofstream f(path);
+  f << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    f << "  {\"world_size\": " << r.world_size << ", \"mode\": \"" << r.mode
+      << "\", \"bucket_bytes\": " << r.bucket_bytes
+      << ", \"mean_step_s\": " << r.mean_step_s
+      << ", \"bitwise_match\": " << (r.bitwise_match ? "true" : "false")
+      << ", \"overlap_fraction\": " << r.overlap_fraction << "}"
+      << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string out_path = "BENCH_overlap.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--check] [--out path]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("overlapped bucketed all-reduce vs blocking (hardware threads: "
+              "%u)\n\n",
+              hw);
+
+  std::vector<Row> rows;
+  bool all_bitwise = true;
+  double blocking_ws4 = 0.0, overlapped_ws4 = 0.0, frac_ws4 = 0.0;
+
+  for (int ws : kWorldSizes) {
+    auto batches = make_batches(ws);
+    std::unique_ptr<train::DataParallelTrainer> ref;
+    const double t_blocking = best_mean_step(ws, false, 0, batches, &ref);
+    rows.push_back({ws, "blocking", 0, t_blocking, true, 0.0});
+    std::printf("ws=%d %-10s              %8.2f ms/step\n", ws, "blocking",
+                t_blocking * 1e3);
+    if (ws == 4) blocking_ws4 = t_blocking;
+
+    for (int64_t bb : kBucketSweep) {
+      std::unique_ptr<train::DataParallelTrainer> dp;
+      const double t = best_mean_step(ws, true, bb, batches, &dp);
+      const bool bitwise = params_bitwise_equal(*ref, *dp);
+      all_bitwise = all_bitwise && bitwise;
+      const double frac = overlap_fraction_for(ws, bb, batches);
+      rows.push_back({ws, "overlapped", bb, t, bitwise, frac});
+      std::printf(
+          "ws=%d %-10s %5lld KiB   %8.2f ms/step  %5.2fx  overlap %4.0f%%  "
+          "%s\n",
+          ws, "overlapped", static_cast<long long>(bb / 1024), t * 1e3,
+          t > 0 ? t_blocking / t : 0.0, frac * 100.0,
+          bitwise ? "bitwise-ok" : "MISMATCH");
+      if (ws == 4 && bb == kDefaultBucket) {
+        overlapped_ws4 = t;
+        frac_ws4 = frac;
+      }
+    }
+    std::printf("\n");
+  }
+
+  write_json(rows, out_path);
+  std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+
+  if (check) {
+    if (!all_bitwise) {
+      std::fprintf(stderr,
+                   "FAIL: overlapped parameters diverged bitwise from the "
+                   "blocking path\n");
+      return 1;
+    }
+    if (hw >= 4) {
+      if (overlapped_ws4 > blocking_ws4) {
+        std::fprintf(stderr,
+                     "FAIL: overlapped path slower than blocking at world "
+                     "size 4 (%.2f ms > %.2f ms)\n",
+                     overlapped_ws4 * 1e3, blocking_ws4 * 1e3);
+        return 1;
+      }
+      if (frac_ws4 <= 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: no comm/backward overlap measured at world size "
+                     "4\n");
+        return 1;
+      }
+    } else {
+      std::printf(
+          "note: host has %u hardware thread(s); the ws=4 speed and overlap "
+          "gates are skipped (bitwise identity still enforced)\n",
+          hw);
+    }
+    std::printf("check passed\n");
+  }
+  return 0;
+}

@@ -2,7 +2,8 @@
 # CI entry point: build + test three times — a plain RelWithDebInfo pass,
 # an ASan+UBSan pass, and a TSan pass over the concurrency-heavy suites
 # (thread pool, parallel_for substrate, parallel kernels, prefetch loader,
-# fault injection, tracer/metrics) so data races surface on every change.
+# fault injection, tracer/metrics, DAP communicator, overlapped DDP
+# all-reduce) so data races surface on every change.
 #
 # The plain suite runs twice: once with intra-op parallelism pinned to a
 # single thread and once at SF_NUM_THREADS=4, because every parallelized
@@ -27,6 +28,9 @@ SF_NUM_THREADS=4 ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "==> parallel scaling + bitwise determinism gate"
 ./build/bench/bench_parallel_scaling --check --out build/BENCH_kernels.json
 
+echo "==> overlapped all-reduce: bitwise identity + overlap gate"
+./build/bench/bench_overlap_allreduce --check --out build/BENCH_overlap.json
+
 echo "==> address,undefined sanitizer build"
 cmake -B build-asan -S . -DSCALEFOLD_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
@@ -35,8 +39,9 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 echo "==> thread sanitizer build (concurrency suites)"
 cmake -B build-tsan -S . -DSCALEFOLD_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  test_common test_parallel test_gemm test_fault test_obs test_loader test_data
+  test_common test_parallel test_gemm test_fault test_obs test_loader \
+  test_data test_dap test_overlap
 SF_NUM_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R '^(test_common|test_parallel|test_gemm|test_fault|test_obs|test_loader|test_data)$'
+  -R '^(test_common|test_parallel|test_gemm|test_fault|test_obs|test_loader|test_data|test_dap|test_overlap)$'
 
 echo "==> all green"

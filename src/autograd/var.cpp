@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/error.h"
@@ -10,6 +11,15 @@ namespace sf::autograd {
 namespace {
 std::atomic<uint64_t> g_next_id{1};
 thread_local bool g_grad_enabled = true;
+
+struct GradReadyHooks {
+  std::vector<std::shared_ptr<Node>> nodes;
+  std::function<void(size_t)> fn;
+};
+thread_local GradReadyHooks g_hooks;
+/// Sweep nesting depth on this thread; checkpoint recomputes run inner
+/// sweeps (depth > 1) that must not consume the registered hooks.
+thread_local int g_sweep_depth = 0;
 }
 
 bool grad_enabled() { return g_grad_enabled; }
@@ -67,7 +77,88 @@ Var make_op(Tensor value, std::vector<Var> parents,
   return Var::from_node(std::move(node));
 }
 
+void set_grad_ready_hooks(const std::vector<Var>& nodes,
+                          std::function<void(size_t)> fn) {
+  g_hooks.nodes.clear();
+  g_hooks.nodes.reserve(nodes.size());
+  for (const Var& v : nodes) {
+    SF_CHECK(v.defined()) << "undefined Var in grad-ready hooks";
+    g_hooks.nodes.push_back(v.node());
+  }
+  g_hooks.fn = std::move(fn);
+}
+
+void clear_grad_ready_hooks() {
+  g_hooks.nodes.clear();
+  g_hooks.fn = nullptr;
+}
+
 namespace {
+/// Execute the nodes of `order` (already sorted by decreasing creation
+/// id, a topological order for the dynamic tape). The outermost sweep on
+/// a thread additionally drives the registered grad-ready hooks: a hooked
+/// node fires as soon as its last consumer in `order` has executed (every
+/// later contribution is impossible — consumers are always created after
+/// their parents), or after the final node for hooked nodes no consumer
+/// in this sweep reaches.
+void execute_sweep(const std::vector<Node*>& order) {
+  struct DepthGuard {
+    DepthGuard() { ++g_sweep_depth; }
+    ~DepthGuard() { --g_sweep_depth; }
+  } depth_guard;
+
+  const bool hooks_active =
+      g_sweep_depth == 1 && g_hooks.fn && !g_hooks.nodes.empty();
+  if (!hooks_active) {
+    for (Node* n : order) {
+      if (!n->requires_grad || !n->backward || !n->grad.defined()) continue;
+      n->backward(n->grad);
+    }
+    return;
+  }
+
+  // Outermost sweep with hooks: count tape-visible consumers per hooked
+  // node, then fire each hook when its count drains to zero. All counting
+  // and firing follows the fixed sweep order, so the firing sequence is
+  // deterministic — the property the bucketed all-reduce path relies on
+  // to match collectives across ranks by launch index.
+  struct HookClearGuard {
+    ~HookClearGuard() { clear_grad_ready_hooks(); }
+  } clear_guard;
+  std::unordered_map<const Node*, size_t> index;
+  index.reserve(g_hooks.nodes.size());
+  for (size_t i = 0; i < g_hooks.nodes.size(); ++i) {
+    index.emplace(g_hooks.nodes[i].get(), i);
+  }
+  std::vector<int64_t> pending(g_hooks.nodes.size(), 0);
+  for (const Node* n : order) {
+    for (const auto& p : n->parents) {
+      auto it = index.find(p.get());
+      if (it != index.end()) ++pending[it->second];
+    }
+  }
+  std::vector<char> fired(g_hooks.nodes.size(), 0);
+  for (Node* n : order) {
+    if (n->requires_grad && n->backward && n->grad.defined()) {
+      n->backward(n->grad);
+    }
+    // Whether or not this node propagated a gradient, it will never
+    // contribute again — drain its parents' counts.
+    for (const auto& p : n->parents) {
+      auto it = index.find(p.get());
+      if (it == index.end()) continue;
+      const size_t i = it->second;
+      if (--pending[i] == 0 && !fired[i]) {
+        fired[i] = 1;
+        g_hooks.fn(i);
+      }
+    }
+  }
+  for (size_t i = 0; i < fired.size(); ++i) {
+    if (!fired[i]) g_hooks.fn(i);
+  }
+}
+
 void run_backward_multi(const std::vector<Var>& roots,
                         const std::vector<Tensor>& seeds) {
   // Collect the union reachable subgraph.
@@ -87,10 +178,7 @@ void run_backward_multi(const std::vector<Var>& roots,
   for (size_t i = 0; i < roots.size(); ++i) {
     roots[i].node()->accumulate_grad(seeds[i]);
   }
-  for (Node* n : order) {
-    if (!n->requires_grad || !n->backward || !n->grad.defined()) continue;
-    n->backward(n->grad);
-  }
+  execute_sweep(order);
 }
 
 void run_backward(const Var& root, const Tensor& seed) {
@@ -111,10 +199,7 @@ void run_backward(const Var& root, const Tensor& seed) {
             [](Node* a, Node* b) { return a->id > b->id; });
 
   root.node()->accumulate_grad(seed);
-  for (Node* n : order) {
-    if (!n->requires_grad || !n->backward || !n->grad.defined()) continue;
-    n->backward(n->grad);
-  }
+  execute_sweep(order);
 }
 }  // namespace
 

@@ -73,6 +73,24 @@ Var make_op(Tensor value, std::vector<Var> parents,
 /// Run reverse-mode accumulation from a scalar root (numel == 1).
 void backward(const Var& root);
 
+/// Per-backward "grad ready" hooks — the substrate for DDP-style bucketed
+/// gradient communication. Register on the thread that will call
+/// backward(); the hooks are consumed by that thread's next (outermost)
+///// reverse sweep: fn(i) fires exactly once per registered node, on the
+/// sweep thread, as soon as the last tape-visible consumer of nodes[i]
+/// has executed its backward — i.e. mid-sweep, which is what lets a
+/// gradient bucket's reduction launch while the rest of backward is still
+/// running. Nodes with no tape-visible consumer (parameters unused this
+/// step, or referenced only inside checkpoint recompute closures, whose
+/// inner tapes are invisible to the outer sweep) fire after the sweep's
+/// last node, when every gradient is final. Hooks are cleared when the
+/// sweep finishes, normally or by exception (unfired hooks never fire).
+void set_grad_ready_hooks(const std::vector<Var>& nodes,
+                          std::function<void(size_t)> fn);
+
+/// Drop hooks registered on this thread without running a backward.
+void clear_grad_ready_hooks();
+
 /// Run reverse-mode accumulation seeding the root's grad with `seed`
 /// (same shape as the root's value). Used by checkpoint re-execution.
 void backward_seeded(const Var& root, const Tensor& seed);

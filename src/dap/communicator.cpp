@@ -3,15 +3,40 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "obs/trace.h"
 
 namespace sf::dap {
+
+/// One in-flight async collective: per-rank buffers, arrival count, and a
+/// state machine driven by the communicator thread.
+struct Communicator::AsyncSlot {
+  enum class State { kFilling, kReady, kReducing, kDone, kError };
+
+  uint64_t seq = 0;
+  int64_t tag = -1;
+  size_t size = 0;
+  std::vector<float*> bufs;  ///< per-rank in-place buffers
+  int arrived = 0;
+  State state = State::kFilling;
+  std::string error;
+};
 
 Communicator::Communicator(int world_size) : n_(world_size) {
   SF_CHECK(world_size >= 1);
   send_ptr_.assign(n_, nullptr);
   recv_ptr_.assign(n_, nullptr);
   count_.assign(n_, 0);
+  next_seq_.assign(n_, 0);
+}
+
+Communicator::~Communicator() {
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    shutdown_ = true;
+  }
+  async_cv_.notify_all();
+  if (comm_thread_.joinable()) comm_thread_.join();
 }
 
 void Communicator::barrier_locked(std::unique_lock<std::mutex>& lock) {
@@ -115,6 +140,168 @@ void Communicator::reduce_scatter_sum(int rank, std::span<const float> full,
   }
   lock.lock();
   barrier_locked(lock);
+}
+
+void Communicator::start_comm_thread_locked() {
+  if (!comm_thread_.joinable()) {
+    comm_thread_ = std::thread([this] { comm_thread_main(); });
+  }
+}
+
+Communicator::AsyncHandle Communicator::all_reduce_sum_async(
+    int rank, std::span<float> buf, int64_t tag) {
+  SF_TRACE_SPAN_ID("dap", "all_reduce_async_launch", rank);
+  SF_CHECK(rank >= 0 && rank < n_);
+  if (n_ == 1) {
+    // Identity reduction: already "done", no thread involved.
+    std::lock_guard<std::mutex> lock(async_mu_);
+    ++stats_.collectives;
+    return AsyncHandle{};
+  }
+  std::unique_lock<std::mutex> lock(async_mu_);
+  if (aborted_) {
+    throw Error("async all-reduce launch after abort: " + abort_reason_);
+  }
+  start_comm_thread_locked();
+  const uint64_t seq = next_seq_[rank]++;
+  auto it = slots_.find(seq);
+  std::shared_ptr<AsyncSlot> slot;
+  if (it == slots_.end()) {
+    slot = std::make_shared<AsyncSlot>();
+    slot->seq = seq;
+    slot->tag = tag;
+    slot->size = buf.size();
+    slot->bufs.assign(n_, nullptr);
+    slots_.emplace(seq, slot);
+  } else {
+    slot = it->second;
+  }
+  if (slot->tag != tag || slot->size != buf.size()) {
+    // Ranks diverged on launch order — a programming error that would
+    // otherwise silently sum unrelated buffers. Poison the communicator.
+    abort_reason_ = "async all-reduce mismatch at seq " +
+                    std::to_string(seq) + ": tag/size diverged across ranks";
+    aborted_ = true;
+    async_cv_.notify_all();
+    throw Error(abort_reason_);
+  }
+  SF_CHECK(slot->bufs[rank] == nullptr)
+      << "rank" << rank << "launched seq" << seq << "twice";
+  slot->bufs[rank] = buf.data();
+  if (++slot->arrived == n_) {
+    slot->state = AsyncSlot::State::kReady;
+    ++stats_.collectives;
+    stats_.bytes_reduced += 2.0 * sizeof(float) * slot->size * (n_ - 1) / n_;
+    async_cv_.notify_all();
+  }
+  return AsyncHandle{this, std::move(slot)};
+}
+
+void Communicator::AsyncHandle::wait() {
+  if (comm_ == nullptr) return;  // world size 1 or default handle
+  SF_TRACE_SPAN("dap", "all_reduce_async_wait");
+  std::unique_lock<std::mutex> lock(comm_->async_mu_);
+  comm_->async_cv_.wait(lock, [&] {
+    return slot_->state == AsyncSlot::State::kDone ||
+           slot_->state == AsyncSlot::State::kError || comm_->aborted_ ||
+           comm_->shutdown_;
+  });
+  if (slot_->state == AsyncSlot::State::kError) {
+    throw Error("async all-reduce failed: " + slot_->error);
+  }
+  if (slot_->state != AsyncSlot::State::kDone) {
+    throw Error(comm_->aborted_
+                    ? "async all-reduce aborted: " + comm_->abort_reason_
+                    : "async all-reduce abandoned at shutdown");
+  }
+  // Completed: drop the table entry. Ranks that have not waited yet keep
+  // the slot alive through their handle's shared_ptr; re-erasing is a
+  // no-op. Sequence numbers only restart at recover_async(), which also
+  // clears the table, so a stale erase can never hit a fresh slot.
+  comm_->slots_.erase(slot_->seq);
+}
+
+void Communicator::abort_async(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    if (!aborted_) {
+      aborted_ = true;
+      abort_reason_ = reason;
+    }
+  }
+  async_cv_.notify_all();
+}
+
+void Communicator::recover_async() {
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    slots_.clear();
+    std::fill(next_seq_.begin(), next_seq_.end(), 0);
+    aborted_ = false;
+    abort_reason_.clear();
+  }
+  async_cv_.notify_all();
+}
+
+bool Communicator::async_aborted() const {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  return aborted_;
+}
+
+void Communicator::comm_thread_main() {
+  std::vector<float> scratch;
+  std::unique_lock<std::mutex> lock(async_mu_);
+  for (;;) {
+    async_cv_.wait(lock, [&] {
+      if (shutdown_) return true;
+      if (aborted_) return false;  // idle until recover_async()
+      for (const auto& [seq, slot] : slots_) {
+        if (slot->state == AsyncSlot::State::kReady) return true;
+      }
+      return false;
+    });
+    if (shutdown_) return;
+    // Reduce ready slots in sequence order (std::map iterates ordered).
+    std::shared_ptr<AsyncSlot> slot;
+    for (const auto& [seq, s] : slots_) {
+      if (s->state == AsyncSlot::State::kReady) {
+        slot = s;
+        break;
+      }
+    }
+    if (!slot) continue;
+    slot->state = AsyncSlot::State::kReducing;
+    std::vector<float*> bufs = slot->bufs;
+    const size_t len = slot->size;
+    lock.unlock();
+    try {
+      SF_TRACE_SPAN_ID("dap", "async_reduce", slot->tag);
+      SF_FAULT_POINT("dap.async_reduce", slot->tag);
+      // Rank-ordered per-element sum — bit-identical to the blocking
+      // all_reduce_sum regardless of launch/wait interleaving. Reduce
+      // into scratch first: the outputs alias the inputs.
+      scratch.resize(len);
+      for (size_t i = 0; i < len; ++i) {
+        float acc = 0.0f;
+        for (int r = 0; r < n_; ++r) acc += bufs[r][i];
+        scratch[i] = acc;
+      }
+      for (int r = 0; r < n_; ++r) {
+        std::memcpy(bufs[r], scratch.data(), sizeof(float) * len);
+      }
+      lock.lock();
+      slot->state = AsyncSlot::State::kDone;
+    } catch (const std::exception& e) {
+      lock.lock();
+      slot->state = AsyncSlot::State::kError;
+      slot->error = e.what();
+      if (!aborted_) {
+        aborted_ = true;
+        abort_reason_ = slot->error;
+      }
+    }
+    async_cv_.notify_all();
+  }
 }
 
 void Communicator::all_to_all(int rank, std::span<const float> send,

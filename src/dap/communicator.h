@@ -1,4 +1,5 @@
-// In-process communicator for Dynamic Axial Parallelism (§2.3).
+// In-process communicator for Dynamic Axial Parallelism (§2.3) and the
+// data-parallel gradient all-reduce (§3.3.1).
 //
 // DAP splits one sample's activations along a non-reductive axis across N
 // ranks, inserting all-gather and all-to-all collectives in forward and
@@ -7,12 +8,27 @@
 // barriers, and per-collective byte accounting so benches can report DAP
 // communication volume (the quantity the simulator's
 // kDapCommBytesPerStep models at paper scale).
+//
+// Blocking collectives rendezvous all ranks inside the call. The *async*
+// all-reduce instead deposits a buffer and returns a handle immediately:
+// a dedicated communication thread performs the rank-ordered reduction as
+// soon as the last rank has contributed, concurrently with whatever the
+// rank threads do next — this is what lets DDP gradient buckets reduce
+// while backward is still running. Collectives are matched across ranks
+// by per-rank launch index (every rank must issue the same async sequence
+// in the same order; a `tag` cross-checks the match). The reduction order
+// is rank-ordered per element, exactly like the blocking path, so the
+// result bits are identical no matter how launches and waits interleave.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <span>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace sf::dap {
@@ -20,6 +36,10 @@ namespace sf::dap {
 class Communicator {
  public:
   explicit Communicator(int world_size);
+  ~Communicator();
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
 
   int world_size() const { return n_; }
 
@@ -51,6 +71,57 @@ class Communicator {
   void reduce_scatter_sum(int rank, std::span<const float> full,
                           std::span<float> out);
 
+  // ---- Non-blocking all-reduce ------------------------------------------
+
+  struct AsyncSlot;
+
+  /// Completion handle for an async collective. Value-semantic; default
+  /// constructed handles are "already done".
+  class AsyncHandle {
+   public:
+    AsyncHandle() = default;
+
+    /// Block until the reduction has been written back to this rank's
+    /// buffer. Throws sf::Error if the collective failed or the
+    /// communicator was aborted; rethrowable any number of times.
+    void wait();
+
+    bool valid() const { return comm_ != nullptr; }
+
+   private:
+    friend class Communicator;
+    AsyncHandle(Communicator* comm, std::shared_ptr<AsyncSlot> slot)
+        : comm_(comm), slot_(std::move(slot)) {}
+
+    Communicator* comm_ = nullptr;
+    std::shared_ptr<AsyncSlot> slot_;
+  };
+
+  /// Non-blocking element-wise sum across ranks, in place in `buf`, which
+  /// must stay alive and untouched until wait() returns. Rank r's k-th
+  /// async launch is matched with every other rank's k-th launch; `tag`
+  /// and the buffer size are cross-checked against the peers (a mismatch
+  /// aborts the communicator — it means ranks diverged on launch order).
+  /// The reduction runs on the communicator's own thread as soon as the
+  /// last rank has deposited, overlapping the callers' ongoing compute;
+  /// bits match the blocking all_reduce_sum exactly.
+  AsyncHandle all_reduce_sum_async(int rank, std::span<float> buf,
+                                   int64_t tag = -1);
+
+  /// Fail every pending and future async operation with `reason`, waking
+  /// all waiters. Called by a rank that hit an error mid-step so its
+  /// peers cannot hang on collectives the failed rank will never join.
+  void abort_async(const std::string& reason);
+
+  /// Clear the aborted state and all pending async collectives, making
+  /// the communicator usable again. Only call when no rank thread is
+  /// inside an async launch or wait (e.g. after joining the step's
+  /// threads).
+  void recover_async();
+
+  /// True while abort_async() is in effect.
+  bool async_aborted() const;
+
   struct Stats {
     uint64_t collectives = 0;
     uint64_t bytes_gathered = 0;
@@ -68,6 +139,8 @@ class Communicator {
 
  private:
   void barrier_locked(std::unique_lock<std::mutex>& lock);
+  void comm_thread_main();
+  void start_comm_thread_locked();
 
   const int n_;
   std::mutex mu_;
@@ -80,6 +153,16 @@ class Communicator {
   std::vector<float*> recv_ptr_;
   std::vector<size_t> count_;
   std::vector<float> reduce_buf_;
+
+  // ---- async machinery (own lock: never contends with the sync path) ----
+  mutable std::mutex async_mu_;
+  std::condition_variable async_cv_;
+  std::thread comm_thread_;
+  bool shutdown_ = false;
+  bool aborted_ = false;
+  std::string abort_reason_;
+  std::vector<uint64_t> next_seq_;             ///< per-rank launch counter
+  std::map<uint64_t, std::shared_ptr<AsyncSlot>> slots_;  ///< keyed by seq
 
   Stats stats_;
 };

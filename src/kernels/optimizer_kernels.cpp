@@ -117,28 +117,39 @@ void fused_adam_swa_step(std::span<const ParamChunk> chunks,
       });
 }
 
+void grad_sq_sum_partials(std::span<const float* const> buckets,
+                          std::span<const int64_t> sizes, double* out) {
+  SF_CHECK(buckets.size() == sizes.size());
+  // Parallel over buckets; each bucket's sum-of-squares is accumulated
+  // serially within the bucket, so every partial depends only on that
+  // bucket's elements — bitwise-reproducible at any thread count, and
+  // identical whether the buckets are normed together (blocking path) or
+  // one at a time as their reductions complete (overlapped path).
+  parallel_for(0, static_cast<int64_t>(buckets.size()), 1,
+               [&](int64_t b0, int64_t b1) {
+                 for (int64_t b = b0; b < b1; ++b) {
+                   const float* data = buckets[b];
+                   double part = 0.0;
+                   for (int64_t i = 0; i < sizes[b]; ++i) {
+                     part += static_cast<double>(data[i]) * data[i];
+                   }
+                   out[b] = part;
+                 }
+               });
+}
+
+float grad_norm_from_partials(std::span<const double> partials) {
+  double acc = 0.0;
+  for (double p : partials) acc += p;
+  return static_cast<float>(std::sqrt(acc));
+}
+
 float grad_norm_bucketed(std::span<const float* const> buckets,
                          std::span<const int64_t> sizes) {
   SF_TRACE_SPAN_ID("kernel", "grad_norm_bucketed", num_threads());
-  SF_CHECK(buckets.size() == sizes.size());
-  // Parallel over buckets; each bucket's sum-of-squares is accumulated
-  // serially within the bucket and the per-bucket partials are combined
-  // in fixed bucket order, so the norm is bitwise-reproducible at any
-  // thread count.
-  double acc = parallel_reduce<double>(
-      0, static_cast<int64_t>(buckets.size()), 1, 0.0,
-      [&](int64_t b0, int64_t b1) {
-        double part = 0.0;
-        for (int64_t b = b0; b < b1; ++b) {
-          const float* data = buckets[b];
-          for (int64_t i = 0; i < sizes[b]; ++i) {
-            part += static_cast<double>(data[i]) * data[i];
-          }
-        }
-        return part;
-      },
-      [](double a, double b) { return a + b; });
-  return static_cast<float>(std::sqrt(acc));
+  std::vector<double> partials(buckets.size());
+  grad_sq_sum_partials(buckets, sizes, partials.data());
+  return grad_norm_from_partials(partials);
 }
 
 float clip_scale(float norm, float max_norm) {

@@ -67,8 +67,22 @@ void fused_adam_swa_step(std::span<const ParamChunk> chunks,
                          const AdamHyper& h, int64_t step, float swa_decay,
                          float grad_scale = 1.0f);
 
+/// Per-bucket sum-of-squares partials (double precision), one per bucket,
+/// each accumulated serially in element order. These are exactly the
+/// partials grad_norm_bucketed combines, exposed so the overlapped DDP
+/// path can compute a bucket's partial the moment its reduction lands
+/// (the paper's gradient-clip overlap) and still produce a norm that is
+/// bitwise identical to the serial pass.
+void grad_sq_sum_partials(std::span<const float* const> buckets,
+                          std::span<const int64_t> sizes, double* out);
+
+/// Combine per-bucket partials in bucket order and return the L2 norm —
+/// the reduction tail of grad_norm_bucketed.
+float grad_norm_from_partials(std::span<const double> partials);
+
 /// Grad norm over pre-packed flat buckets (the DDP gradient buffers):
-/// a single pass, no copies. Returns the global L2 norm.
+/// a single pass, no copies. Returns the global L2 norm. Equivalent to
+/// grad_sq_sum_partials + grad_norm_from_partials.
 float grad_norm_bucketed(std::span<const float* const> buckets,
                          std::span<const int64_t> sizes);
 

@@ -146,8 +146,10 @@ StepStats simulate_step_time(const ClusterConfig& cfg) {
   const int dp = cfg.num_gpus / n;
   double grad_bytes = 93e6 * 4.0;  // 97M params, fp32 gradients
   if (tg.bf16) grad_bytes *= 0.5;
-  // The all-reduce overlaps the backward pass; only ~30% is exposed.
-  out.grad_comm_s = 0.3 * allreduce_time_s(cfg.arch, grad_bytes, dp);
+  // The bucketed all-reduce overlaps the backward pass; only the exposed
+  // tail contributes to step time (calibrated, see calibration.h).
+  out.grad_comm_s =
+      calib::kGradCommExposedFrac * allreduce_time_s(cfg.arch, grad_bytes, dp);
 
   // ---- Sampled noise: CPU peaks, GC pauses, data-pipeline waits ----
   const double nominal =

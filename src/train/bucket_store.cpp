@@ -1,0 +1,87 @@
+#include "train/bucket_store.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace sf::train {
+
+BucketStore::BucketStore(std::vector<autograd::Var> params,
+                         int64_t capacity_bytes)
+    : params_(std::move(params)), capacity_bytes_(capacity_bytes) {
+  SF_CHECK(!params_.empty());
+  SF_CHECK(capacity_bytes_ >= 1);
+  assignment_.assign(params_.size(), -1);
+  const int64_t capacity_elems =
+      std::max<int64_t>(1, capacity_bytes_ / static_cast<int64_t>(
+                                                 sizeof(float)));
+  Bucket current;
+  auto flush = [&] {
+    if (current.slices.empty()) return;
+    current.flat = Tensor::zeros({current.numel});
+    buckets_.push_back(std::move(current));
+    current = Bucket{};
+  };
+  // Reverse registration order: gradients for late-registered parameters
+  // (used near the end of forward) land first in backward.
+  for (size_t i = params_.size(); i-- > 0;) {
+    const int64_t n = params_[i].numel();
+    if (!current.slices.empty() && current.numel + n > capacity_elems) {
+      flush();
+    }
+    current.slices.push_back(
+        BucketSlice{i, current.numel, n});
+    current.numel += n;
+    assignment_[i] = static_cast<int>(buckets_.size());
+  }
+  flush();
+  for (auto& b : buckets_) b.pending = static_cast<int>(b.slices.size());
+}
+
+void BucketStore::reset_pending() {
+  for (auto& b : buckets_) b.pending = static_cast<int>(b.slices.size());
+}
+
+int BucketStore::on_grad_ready(size_t param_index) {
+  SF_CHECK(param_index < params_.size());
+  const int b = assignment_[param_index];
+  Bucket& bucket = buckets_[b];
+  SF_CHECK(bucket.pending > 0)
+      << "bucket" << b << "completed more grads than it holds";
+  return --bucket.pending == 0 ? b : -1;
+}
+
+void BucketStore::pack(int b) {
+  Bucket& bucket = buckets_[b];
+  float* out = bucket.flat.data();
+  for (const BucketSlice& s : bucket.slices) {
+    auto node = params_[s.param_index].node();
+    if (node->grad.defined()) {
+      std::memcpy(out + s.offset, node->grad.data(),
+                  sizeof(float) * s.numel);
+    } else {
+      std::memset(out + s.offset, 0, sizeof(float) * s.numel);
+    }
+  }
+}
+
+void BucketStore::unpack(int b, float scale) {
+  Bucket& bucket = buckets_[b];
+  const float* in = bucket.flat.data();
+  for (const BucketSlice& s : bucket.slices) {
+    auto node = params_[s.param_index].node();
+    if (!node->grad.defined()) {
+      node->grad = Tensor::zeros(node->value.shape());
+    }
+    float* out = node->grad.data();
+    if (scale == 1.0f) {
+      std::memcpy(out, in + s.offset, sizeof(float) * s.numel);
+    } else {
+      for (int64_t i = 0; i < s.numel; ++i) {
+        out[i] = in[s.offset + i] * scale;
+      }
+    }
+  }
+}
+
+}  // namespace sf::train

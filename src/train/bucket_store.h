@@ -1,0 +1,87 @@
+// Fixed-layout gradient buckets for the overlapped data-parallel
+// all-reduce (the DDP gradient buffers of §3.3.1).
+//
+// Parameters are assigned to flat ~capacity-byte buckets at construction,
+// in *reverse* registration order — the order gradients tend to become
+// ready during backward, so the first buckets fill (and their reductions
+// launch) while most of backward is still ahead. The assignment depends
+// only on the parameter list and the capacity, never on runtime timing:
+// every rank computes the identical layout, every step reduces the
+// identical bucket sequence, and the reduction order — hence the summed
+// bits — is fixed. A tensor larger than the capacity gets a bucket of its
+// own; buckets always hold whole tensors.
+//
+// The store also tracks per-bucket readiness so the autograd grad-ready
+// hooks can launch a bucket the moment its last gradient lands, and
+// provides bit-exact pack (grads -> flat buffer) / unpack (flat buffer ->
+// grads, with the DP averaging scale) copies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace sf::train {
+
+/// One parameter tensor's placement inside a bucket.
+struct BucketSlice {
+  size_t param_index = 0;  ///< index into the constructor's param list
+  int64_t offset = 0;      ///< element offset inside the bucket's buffer
+  int64_t numel = 0;
+};
+
+class BucketStore {
+ public:
+  /// `params` is the trainable-parameter list (registration order);
+  /// `capacity_bytes` is the target bucket size.
+  BucketStore(std::vector<autograd::Var> params, int64_t capacity_bytes);
+
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t num_params() const { return params_.size(); }
+
+  const std::vector<BucketSlice>& bucket(int b) const {
+    return buckets_[b].slices;
+  }
+  int64_t bucket_numel(int b) const { return buckets_[b].numel; }
+  int bucket_of(size_t param_index) const {
+    return assignment_[param_index];
+  }
+
+  /// The bucket's packed gradient buffer (valid after pack(b)).
+  std::span<float> flat(int b) { return buckets_[b].flat.span(); }
+
+  /// Re-arm the per-bucket readiness counters for a new backward pass.
+  void reset_pending();
+
+  /// Record that `param_index`'s gradient is final. Returns the bucket id
+  /// when this was the bucket's last outstanding gradient (the launch
+  /// trigger), else -1. Not thread-safe: one store per rank.
+  int on_grad_ready(size_t param_index);
+
+  /// Copy every member gradient into the bucket's flat buffer (zeros for
+  /// parameters whose gradient was never allocated).
+  void pack(int b);
+
+  /// Copy the flat buffer back into the member gradients (allocating any
+  /// undefined ones), multiplying by `scale` — the 1/world_size averaging
+  /// step. scale == 1 round-trips bit-exactly.
+  void unpack(int b, float scale);
+
+ private:
+  struct Bucket {
+    std::vector<BucketSlice> slices;
+    int64_t numel = 0;
+    int pending = 0;  ///< grads not yet ready this pass
+    Tensor flat;
+  };
+
+  std::vector<autograd::Var> params_;
+  int64_t capacity_bytes_;
+  std::vector<Bucket> buckets_;
+  std::vector<int> assignment_;  ///< param index -> bucket id
+};
+
+}  // namespace sf::train

@@ -1,11 +1,15 @@
 #include "train/data_parallel.h"
 
 #include <cmath>
+#include <exception>
 #include <thread>
 
 #include "autograd/var.h"
 #include "common/error.h"
+#include "common/fault.h"
 #include "common/timer.h"
+#include "kernels/optimizer_kernels.h"
+#include "obs/trace.h"
 
 namespace sf::train {
 
@@ -25,7 +29,118 @@ DataParallelTrainer::DataParallelTrainer(const model::ModelConfig& cfg,
         std::make_unique<model::MiniAlphaFold>(cfg, model_seed));
     optimizers_.push_back(
         std::make_unique<Optimizer>(replicas_.back()->params().all(), oc));
+    rank_params_.push_back(replicas_.back()->params().all());
+    if (train_cfg_.overlap_grad_comm) {
+      // Identical parameter lists => identical bucket layout on every
+      // rank, the invariant the async launch-order matching relies on.
+      bucket_stores_.push_back(std::make_unique<BucketStore>(
+          rank_params_.back(), train_cfg_.grad_bucket_bytes));
+    }
   }
+  losses_.assign(world_size_, 0.0f);
+  lddts_.assign(world_size_, 0.0f);
+  grad_norms_.assign(world_size_, 0.0f);
+}
+
+void DataParallelTrainer::rank_step_blocking(int rank,
+                                             const data::Batch& batch,
+                                             int64_t recycles, float lr_scale,
+                                             float inv_w) {
+  auto& net = *replicas_[rank];
+  auto& opt = *optimizers_[rank];
+  opt.zero_grad();
+  auto out = net.forward(batch, recycles, /*compute_loss=*/true);
+  {
+    SF_TRACE_SPAN_ID("ddp", "backward", rank);
+    autograd::backward(out.loss);
+  }
+  losses_[rank] = out.loss.value().at(0);
+  lddts_[rank] = out.lddt;
+
+  // Gradient all-reduce: average across the DP group, one bucket per
+  // parameter tensor (the DDP gradient buffers of §3.3.1).
+  for (auto& p : rank_params_[rank]) {
+    auto node = p.node();
+    if (!node->grad.defined()) {
+      node->grad = Tensor::zeros(node->value.shape());
+    }
+    comm_->all_reduce_sum(rank, node->grad.span());
+    node->grad.scale_(inv_w);
+  }
+  opt.step(lr_scale);
+  grad_norms_[rank] = opt.last_grad_norm();
+}
+
+void DataParallelTrainer::rank_step_overlapped(int rank,
+                                               const data::Batch& batch,
+                                               int64_t recycles,
+                                               float lr_scale, float inv_w) {
+  auto& net = *replicas_[rank];
+  auto& opt = *optimizers_[rank];
+  auto& store = *bucket_stores_[rank];
+  const auto& params = rank_params_[rank];
+
+  opt.zero_grad();
+  auto out = net.forward(batch, recycles, /*compute_loss=*/true);
+  losses_[rank] = out.loss.value().at(0);
+  lddts_[rank] = out.lddt;
+
+  store.reset_pending();
+  const int nb = store.num_buckets();
+  std::vector<dap::Communicator::AsyncHandle> handles(nb);
+  std::vector<bool> launched(nb, false);
+
+  // Grad-ready hooks: when a bucket's last gradient lands, pack it and
+  // launch its async reduction — comm overlaps the rest of backward.
+  // Every rank's tape is structurally identical, so the hooks fire in the
+  // same order everywhere and the per-rank async launch sequences match.
+  autograd::set_grad_ready_hooks(params, [&](size_t param_index) {
+    const int b = store.on_grad_ready(param_index);
+    if (b < 0) return;
+    SF_FAULT_POINT("ddp.bucket_launch", b);
+    SF_TRACE_SPAN_ID("ddp", "bucket_pack", b);
+    store.pack(b);
+    handles[b] = comm_->all_reduce_sum_async(rank, store.flat(b),
+                                             /*tag=*/b);
+    launched[b] = true;
+  });
+  {
+    SF_TRACE_SPAN_ID("ddp", "backward", rank);
+    autograd::backward(out.loss);
+  }
+
+  // Drain buckets in index order: wait, scatter the averaged gradients
+  // back, and accumulate per-tensor squared-norm partials so the clip
+  // norm is known the moment the last bucket lands (clip overlap).
+  std::vector<double> partials(store.num_params(), 0.0);
+  std::vector<const float*> grad_ptrs;
+  std::vector<int64_t> grad_sizes;
+  std::vector<double> bucket_partials;
+  for (int b = 0; b < nb; ++b) {
+    SF_CHECK(launched[b]) << "bucket" << b << "never launched";
+    SF_FAULT_POINT("ddp.bucket_wait", b);
+    handles[b].wait();
+    SF_TRACE_SPAN_ID("ddp", "bucket_unpack", b);
+    store.unpack(b, inv_w);
+    const auto& slices = store.bucket(b);
+    grad_ptrs.clear();
+    grad_sizes.clear();
+    for (const BucketSlice& s : slices) {
+      grad_ptrs.push_back(params[s.param_index].node()->grad.data());
+      grad_sizes.push_back(s.numel);
+    }
+    bucket_partials.assign(slices.size(), 0.0);
+    kernels::grad_sq_sum_partials(grad_ptrs, grad_sizes,
+                                  bucket_partials.data());
+    for (size_t j = 0; j < slices.size(); ++j) {
+      partials[slices[j].param_index] = bucket_partials[j];
+    }
+  }
+  // Partials combine in parameter order — bit-identical to the blocking
+  // Optimizer::step's grad_norm_bucketed over per-tensor buckets.
+  const float norm = kernels::grad_norm_from_partials(partials);
+  opt.step_with_norm(norm, lr_scale);
+  grad_norms_[rank] = opt.last_grad_norm();
 }
 
 StepResult DataParallelTrainer::train_step(
@@ -48,32 +163,23 @@ StepResult DataParallelTrainer::train_step(
                static_cast<float>(train_cfg_.warmup_steps);
   }
 
-  std::vector<float> losses(world_size_, 0.0f);
-  std::vector<float> lddts(world_size_, 0.0f);
-  std::vector<float> grad_norms(world_size_, 0.0f);
   const float inv_w = 1.0f / static_cast<float>(world_size_);
+  std::vector<std::exception_ptr> errors(world_size_);
 
   auto rank_fn = [&](int rank) {
-    auto& net = *replicas_[rank];
-    auto& opt = *optimizers_[rank];
-    opt.zero_grad();
-    auto out = net.forward(batches[rank], recycles, /*compute_loss=*/true);
-    autograd::backward(out.loss);
-    losses[rank] = out.loss.value().at(0);
-    lddts[rank] = out.lddt;
-
-    // Gradient all-reduce: average across the DP group, one bucket per
-    // parameter tensor (the DDP gradient buffers of §3.3.1).
-    for (auto& p : net.params().all()) {
-      auto node = p.node();
-      if (!node->grad.defined()) {
-        node->grad = Tensor::zeros(node->value.shape());
+    try {
+      if (train_cfg_.overlap_grad_comm) {
+        rank_step_overlapped(rank, batches[rank], recycles, lr_scale, inv_w);
+      } else {
+        rank_step_blocking(rank, batches[rank], recycles, lr_scale, inv_w);
       }
-      comm_->all_reduce_sum(rank, node->grad.span());
-      node->grad.scale_(inv_w);
+    } catch (...) {
+      errors[rank] = std::current_exception();
+      // Wake peers blocked on async collectives this rank will never
+      // join, so a single failing rank cannot hang the step.
+      comm_->abort_async("rank " + std::to_string(rank) +
+                         " failed mid-step");
     }
-    opt.step(lr_scale);
-    grad_norms[rank] = opt.last_grad_norm();
   };
 
   if (world_size_ == 1) {
@@ -84,13 +190,22 @@ StepResult DataParallelTrainer::train_step(
     for (auto& t : threads) t.join();
   }
 
+  for (int r = 0; r < world_size_; ++r) {
+    if (errors[r]) {
+      // All rank threads are joined: safe to reset the async machinery so
+      // the communicator (and trainer) stay usable after the failure.
+      comm_->recover_async();
+      std::rethrow_exception(errors[r]);
+    }
+  }
+
   StepResult result;
   result.recycles = recycles;
   for (int r = 0; r < world_size_; ++r) {
-    result.loss += losses[r] * inv_w;
-    result.lddt += lddts[r] * inv_w;
+    result.loss += losses_[r] * inv_w;
+    result.lddt += lddts_[r] * inv_w;
   }
-  result.grad_norm = grad_norms[0];
+  result.grad_norm = grad_norms_[0];
   result.seconds = timer.elapsed();
   return result;
 }

@@ -6,6 +6,22 @@
 // fused optimizer step — so replicas stay bit-identical, which the tests
 // assert. This is the parallelism whose degree AlphaFold's global-batch
 // ceiling (256) caps, motivating DAP.
+//
+// Two gradient-communication paths, selected by
+// TrainConfig::overlap_grad_comm:
+//   blocking   — after backward, one synchronous all-reduce per parameter
+//                tensor (the reference path);
+//   overlapped — gradients are packed into fixed ~grad_bucket_bytes
+//                buckets (BucketStore); autograd grad-ready hooks launch
+//                each bucket's async all-reduce the moment its last
+//                gradient lands, so reduction overlaps the rest of
+//                backward (§3.3.1). As buckets complete, per-tensor
+//                squared-norm partials are accumulated so the grad-clip
+//                norm is ready by optimizer time (clip overlap).
+// Both paths produce bitwise-identical parameters: the bucket layout is a
+// pure function of the parameter list, reductions are rank-ordered per
+// element either way, and the norm partials sum in parameter order —
+// exactly what the blocking Optimizer::step computes.
 #pragma once
 
 #include <memory>
@@ -14,6 +30,7 @@
 
 #include "dap/communicator.h"
 #include "model/alphafold.h"
+#include "train/bucket_store.h"
 #include "train/trainer.h"
 
 namespace sf::train {
@@ -37,11 +54,19 @@ class DataParallelTrainer {
   float replica_divergence(int rank) const;
 
  private:
+  void rank_step_blocking(int rank, const data::Batch& batch,
+                          int64_t recycles, float lr_scale, float inv_w);
+  void rank_step_overlapped(int rank, const data::Batch& batch,
+                            int64_t recycles, float lr_scale, float inv_w);
+
   int world_size_;
   TrainConfig train_cfg_;
   std::unique_ptr<dap::Communicator> comm_;
   std::vector<std::unique_ptr<model::MiniAlphaFold>> replicas_;
   std::vector<std::unique_ptr<Optimizer>> optimizers_;
+  std::vector<std::vector<autograd::Var>> rank_params_;
+  std::vector<std::unique_ptr<BucketStore>> bucket_stores_;
+  std::vector<float> losses_, lddts_, grad_norms_;
   Rng recycle_rng_;
   int64_t step_ = 0;
 };

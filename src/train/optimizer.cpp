@@ -36,11 +36,10 @@ std::vector<kernels::ParamChunk> Optimizer::build_chunks() {
 }
 
 void Optimizer::step(float lr_scale) {
-  SF_CHECK(!swa_swapped_) << "step() while SWA weights are swapped in";
-  ++step_;
   auto chunks = build_chunks();
 
   // Global gradient norm: bucketed (no copies) or concat (naive).
+  float norm;
   if (config_.bucketed_grad_norm) {
     std::vector<const float*> buckets;
     std::vector<int64_t> sizes;
@@ -50,11 +49,24 @@ void Optimizer::step(float lr_scale) {
       buckets.push_back(c.grad);
       sizes.push_back(c.n);
     }
-    last_grad_norm_ = kernels::grad_norm_bucketed(buckets, sizes);
+    norm = kernels::grad_norm_bucketed(buckets, sizes);
   } else {
-    last_grad_norm_ = kernels::grad_norm_concat(chunks);
+    norm = kernels::grad_norm_concat(chunks);
   }
-  const float scale = kernels::clip_scale(last_grad_norm_, config_.clip_norm);
+  apply_update(chunks, norm, lr_scale);
+}
+
+void Optimizer::step_with_norm(float precomputed_norm, float lr_scale) {
+  auto chunks = build_chunks();
+  apply_update(chunks, precomputed_norm, lr_scale);
+}
+
+void Optimizer::apply_update(std::vector<kernels::ParamChunk>& chunks,
+                             float norm, float lr_scale) {
+  SF_CHECK(!swa_swapped_) << "step() while SWA weights are swapped in";
+  ++step_;
+  last_grad_norm_ = norm;
+  const float scale = kernels::clip_scale(norm, config_.clip_norm);
 
   kernels::AdamHyper hyper = config_.adam;
   hyper.lr *= lr_scale;

@@ -40,6 +40,15 @@ class Optimizer {
   /// `lr_scale` multiplies the base LR (for warmup/decay schedules).
   void step(float lr_scale = 1.0f);
 
+  /// step(), but with the global grad norm supplied by the caller instead
+  /// of computed here — the §3.3.1 gradient-clip overlap: the overlapped
+  /// DP path accumulates per-bucket squared-norm partials while
+  /// reductions complete, so by optimizer time the norm is already known.
+  /// The caller's norm must equal what step() would compute (the trainers
+  /// build it from the same kernels::grad_sq_sum_partials per-tensor
+  /// partials summed in parameter order) to keep the paths bit-identical.
+  void step_with_norm(float precomputed_norm, float lr_scale = 1.0f);
+
   void zero_grad();
 
   int64_t step_count() const { return step_; }
@@ -73,6 +82,10 @@ class Optimizer {
   /// Ensure every param has an allocated gradient (zeros when untouched)
   /// and return the packed chunk list.
   std::vector<kernels::ParamChunk> build_chunks();
+
+  /// Shared tail of step()/step_with_norm(): clip-scale + Adam + SWA.
+  void apply_update(std::vector<kernels::ParamChunk>& chunks, float norm,
+                    float lr_scale);
 
   std::vector<autograd::Var> params_;
   OptimizerConfig config_;

@@ -41,6 +41,15 @@ struct TrainConfig {
   /// concurrency); > 0 pins it via sf::set_num_threads. Kernel outputs
   /// are bitwise-identical at any setting.
   int num_threads = 0;
+  /// Data-parallel gradient communication (DataParallelTrainer only):
+  /// true = bucketed async all-reduce launched by backward hooks, with
+  /// the grad-clip norm accumulated per bucket as reductions complete
+  /// (§3.3.1 gradient-clip overlap); false = blocking per-parameter
+  /// all-reduce after backward (the reference path). Both produce
+  /// bitwise-identical parameters.
+  bool overlap_grad_comm = true;
+  /// Target gradient-bucket capacity in bytes for the overlapped path.
+  int64_t grad_bucket_bytes = 64 * 1024;
 };
 
 struct StepResult {

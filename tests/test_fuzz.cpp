@@ -3,11 +3,15 @@
 //     chains with random buffer-aliasing patterns;
 //   - the prefetch loaders must deliver exactly-once under random delay
 //     schedules and worker counts;
-//   - attention kernels must stay finite under adversarial inputs.
+//   - attention kernels must stay finite under adversarial inputs;
+//   - gradient-bucket assembly must place every parameter exactly once
+//     and round-trip gradients bit-exactly for random shape mixes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <set>
 #include <thread>
 #include <vector>
@@ -18,6 +22,7 @@
 #include "graph/fuser.h"
 #include "kernels/attention.h"
 #include "kernels/layernorm.h"
+#include "train/bucket_store.h"
 
 namespace sf {
 namespace {
@@ -249,6 +254,105 @@ TEST(LayerNormFuzz, FiniteAcrossMagnitudes) {
     kernels::layernorm_forward_fused(x.data(), gamma.data(), beta.data(),
                                      y.data(), rows, cols, 1e-5f, nullptr);
     for (float val : y) ASSERT_TRUE(std::isfinite(val)) << "mag " << mag;
+  }
+}
+
+// ---- gradient-bucket assembly fuzz -----------------------------------
+
+// Random parameter lists (counts, shapes, capacities) against the
+// BucketStore invariants: every parameter lands in exactly one bucket
+// with contiguous offsets, the capacity is respected except for
+// single-oversized-tensor buckets, readiness in any order completes each
+// bucket exactly once, and pack -> unpack(1.0) round-trips gradients
+// bit-exactly.
+TEST(BucketStoreFuzz, RandomShapesAssembleAndRoundTrip) {
+  Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int num_params = 1 + static_cast<int>(rng.uniform_int(24));
+    const int64_t capacity_bytes = 4 + static_cast<int64_t>(
+        rng.uniform_int(4096));
+    std::vector<autograd::Var> params;
+    for (int i = 0; i < num_params; ++i) {
+      const int64_t n = 1 + static_cast<int64_t>(rng.uniform_int(600));
+      Tensor t = Tensor::zeros({n});
+      fill_normal(rng, t.data(), n, 0.0f, 1.0f);
+      params.emplace_back(std::move(t), /*requires_grad=*/true);
+    }
+    train::BucketStore store(params, capacity_bytes);
+    const int64_t capacity_elems =
+        std::max<int64_t>(1, capacity_bytes / sizeof(float));
+
+    // Every parameter exactly once; offsets contiguous within buckets;
+    // capacity respected unless the bucket is one oversized tensor.
+    std::vector<int> seen(num_params, 0);
+    for (int b = 0; b < store.num_buckets(); ++b) {
+      int64_t offset = 0;
+      for (const train::BucketSlice& s : store.bucket(b)) {
+        ASSERT_LT(s.param_index, params.size());
+        ++seen[s.param_index];
+        EXPECT_EQ(store.bucket_of(s.param_index), b);
+        EXPECT_EQ(s.offset, offset);
+        EXPECT_EQ(s.numel, params[s.param_index].numel());
+        offset += s.numel;
+      }
+      EXPECT_EQ(offset, store.bucket_numel(b));
+      if (store.bucket_numel(b) > capacity_elems) {
+        EXPECT_EQ(store.bucket(b).size(), 1u)
+            << "over-capacity bucket must be a single oversized tensor";
+      }
+    }
+    for (int i = 0; i < num_params; ++i) {
+      EXPECT_EQ(seen[i], 1) << "param " << i;
+    }
+
+    // Random grads (some deliberately left undefined -> packed as zeros).
+    std::vector<std::vector<float>> want(num_params);
+    for (int i = 0; i < num_params; ++i) {
+      const int64_t n = params[i].numel();
+      want[i].assign(n, 0.0f);
+      if (rng.uniform_int(5) != 0) {
+        fill_normal(rng, want[i].data(), n, 0.0f, 3.0f);
+        params[i].node()->grad = Tensor::zeros({n});
+        std::memcpy(params[i].node()->grad.data(), want[i].data(),
+                    sizeof(float) * n);
+      }
+    }
+
+    // Readiness in a random order completes each bucket exactly once.
+    store.reset_pending();
+    std::vector<size_t> order(num_params);
+    for (int i = 0; i < num_params; ++i) order[i] = i;
+    for (int i = num_params - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.uniform_int(i + 1)]);
+    }
+    std::vector<int> completions(store.num_buckets(), 0);
+    for (size_t pi : order) {
+      const int b = store.on_grad_ready(pi);
+      if (b >= 0) ++completions[b];
+    }
+    for (int b = 0; b < store.num_buckets(); ++b) {
+      EXPECT_EQ(completions[b], 1) << "bucket " << b;
+    }
+
+    // pack -> clobber -> unpack(1.0) restores every gradient bit-exactly.
+    for (int b = 0; b < store.num_buckets(); ++b) store.pack(b);
+    for (int i = 0; i < num_params; ++i) {
+      auto node = params[i].node();
+      if (node->grad.defined()) {
+        std::memset(node->grad.data(), 0xAB,
+                    sizeof(float) * node->grad.numel());
+      }
+    }
+    for (int b = 0; b < store.num_buckets(); ++b) store.unpack(b, 1.0f);
+    for (int i = 0; i < num_params; ++i) {
+      const Tensor& g = params[i].node()->grad;
+      ASSERT_TRUE(g.defined());
+      ASSERT_EQ(g.numel(), params[i].numel());
+      EXPECT_EQ(std::memcmp(g.data(), want[i].data(),
+                            sizeof(float) * g.numel()),
+                0)
+          << "param " << i << " grad not bit-exact after round trip";
+    }
   }
 }
 

@@ -1,0 +1,210 @@
+// Differential tests for the overlapped bucketed gradient all-reduce
+// (TrainConfig::overlap_grad_comm): the overlapped path must be
+// *bitwise* identical to the blocking reference at every world size,
+// thread count and bucket size; must stay bitwise under injected
+// concurrency jitter; and must propagate injected faults out of
+// train_step without hanging peer ranks, leaving the communicator
+// reusable.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/parallel.h"
+#include "data/protein_sample.h"
+#include "train/data_parallel.h"
+
+namespace sf::train {
+namespace {
+
+model::ModelConfig tiny_config() {
+  model::ModelConfig c;
+  c.crop_len = 10;
+  c.msa_rows = 3;
+  c.c_m = 8;
+  c.c_z = 8;
+  c.c_s = 8;
+  c.heads = 2;
+  c.head_dim = 4;
+  c.evoformer_blocks = 1;
+  c.use_extra_msa_stack = false;
+  c.use_template_stack = false;
+  c.opm_dim = 2;
+  c.transition_factor = 2;
+  c.structure_layers = 1;
+  return c;
+}
+
+std::vector<data::Batch> make_batches(int n) {
+  data::DatasetConfig c;
+  c.num_samples = n;
+  c.crop_len = 10;
+  c.msa_rows = 3;
+  c.msa_work_cap = 40;
+  c.seed = 23;
+  data::SyntheticProteinDataset ds(c);
+  std::vector<data::Batch> out;
+  for (int i = 0; i < n; ++i) out.push_back(ds.prepare_batch(i));
+  return out;
+}
+
+TrainConfig train_cfg(bool overlap, int64_t bucket_bytes = 64 * 1024) {
+  TrainConfig tc;
+  tc.base_lr = 1e-3f;
+  tc.warmup_steps = 0;
+  tc.min_recycles = 1;
+  tc.max_recycles = 2;
+  tc.opt.clip_norm = 5.0f;
+  tc.overlap_grad_comm = overlap;
+  tc.grad_bucket_bytes = bucket_bytes;
+  return tc;
+}
+
+::testing::AssertionResult params_bitwise_equal(DataParallelTrainer& a,
+                                                DataParallelTrainer& b) {
+  auto pa = a.replica(0).params().all();
+  auto pb = b.replica(0).params().all();
+  if (pa.size() != pb.size()) {
+    return ::testing::AssertionFailure() << "param count differs";
+  }
+  for (size_t i = 0; i < pa.size(); ++i) {
+    const Tensor& ta = pa[i].value();
+    const Tensor& tb = pb[i].value();
+    if (ta.numel() != tb.numel() ||
+        std::memcmp(ta.data(), tb.data(), sizeof(float) * ta.numel()) != 0) {
+      return ::testing::AssertionFailure()
+             << "param " << i << " differs bitwise";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// The determinism contract: for every world size x intra-op thread count
+// x bucket size, 5 overlapped steps produce bitwise-identical parameters,
+// losses and grad norms to the blocking path, and replicas never diverge.
+TEST(Overlap, MatchesBlockingBitwise) {
+  for (int ws : {1, 2, 4}) {
+    auto batches = make_batches(ws);
+    for (int threads : {1, 4}) {
+      for (int64_t bucket_bytes : {int64_t{4} * 1024, int64_t{64} * 1024}) {
+        set_num_threads(threads);
+        DataParallelTrainer blocking(tiny_config(), train_cfg(false), ws, 41);
+        DataParallelTrainer overlapped(
+            tiny_config(), train_cfg(true, bucket_bytes), ws, 41);
+        for (int s = 0; s < 5; ++s) {
+          auto rb = blocking.train_step(batches);
+          auto ro = overlapped.train_step(batches);
+          SCOPED_TRACE("ws=" + std::to_string(ws) + " threads=" +
+                       std::to_string(threads) + " bucket=" +
+                       std::to_string(bucket_bytes) + " step=" +
+                       std::to_string(s));
+          EXPECT_EQ(rb.loss, ro.loss);
+          EXPECT_EQ(rb.grad_norm, ro.grad_norm);
+          for (int r = 1; r < ws; ++r) {
+            EXPECT_EQ(overlapped.replica_divergence(r), 0.0f);
+          }
+        }
+        EXPECT_TRUE(params_bitwise_equal(blocking, overlapped));
+      }
+    }
+    set_num_threads(0);
+  }
+}
+
+// Concurrency stress: >= 50 overlapped steps with random injected delays
+// at every overlap-path site (launch, wait, and the communicator
+// thread's reduce), jittering rank interleavings step over step. The
+// result must still be bitwise identical to the undisturbed blocking
+// path — determinism may not depend on timing.
+TEST(Overlap, StressJitteredDelaysStayBitwise) {
+  const int ws = 4;
+  const int steps = 50;
+  auto batches = make_batches(ws);
+
+  DataParallelTrainer blocking(tiny_config(), train_cfg(false), ws, 51);
+  for (int s = 0; s < steps; ++s) blocking.train_step(batches);
+
+  fault::SiteConfig jitter;
+  jitter.probability = 0.5;
+  jitter.max_fires = -1;       // keep firing for the whole run
+  jitter.delay_seconds = 5e-4; // sleep only,
+  jitter.throws = false;       // never throw
+  jitter.seed = 1;
+  fault::arm("ddp.bucket_launch", jitter);
+  jitter.seed = 2;
+  fault::arm("ddp.bucket_wait", jitter);
+  jitter.seed = 3;
+  fault::arm("dap.async_reduce", jitter);
+
+  // Small buckets: many in-flight reductions to jitter against.
+  DataParallelTrainer overlapped(tiny_config(), train_cfg(true, 4 * 1024),
+                                 ws, 51);
+  for (int s = 0; s < steps; ++s) {
+    overlapped.train_step(batches);
+    for (int r = 1; r < ws; ++r) {
+      ASSERT_EQ(overlapped.replica_divergence(r), 0.0f) << "step " << s;
+    }
+  }
+  EXPECT_GT(fault::stats("ddp.bucket_launch").fires, 0);
+  EXPECT_GT(fault::stats("ddp.bucket_wait").fires, 0);
+  EXPECT_GT(fault::stats("dap.async_reduce").fires, 0);
+  fault::reset();
+
+  EXPECT_TRUE(params_bitwise_equal(blocking, overlapped));
+}
+
+// One rank throwing mid-step must propagate an error out of train_step
+// promptly (no peer may hang on a collective the failed rank never
+// joins), and the trainer must be usable again afterwards.
+void check_fault_propagates(const std::string& site) {
+  SCOPED_TRACE(site);
+  const int ws = 4;
+  auto batches = make_batches(ws);
+  DataParallelTrainer dp(tiny_config(), train_cfg(true, 4 * 1024), ws, 61);
+  EXPECT_NO_THROW(dp.train_step(batches));
+
+  fault::arm_once(site);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(dp.train_step(batches), Error);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 10.0) << "peers hung after injected fault";
+  EXPECT_EQ(fault::stats(site).fires, 1);
+  fault::reset();  // clears the armed site (and its stats)
+
+  // Communicator recovered: the next step runs clean.
+  EXPECT_NO_THROW(dp.train_step(batches));
+}
+
+TEST(Overlap, FaultAtBucketLaunchPropagates) {
+  const int ws = 4;
+  auto batches = make_batches(ws);
+  DataParallelTrainer dp(tiny_config(), train_cfg(true, 4 * 1024), ws, 71);
+  dp.train_step(batches);
+
+  // A launch fault means the bucket never gets every rank's contribution,
+  // so *no* rank can finish its waits and step: replicas must stay in
+  // lockstep through the failure and the recovery step.
+  fault::arm_once("ddp.bucket_launch");
+  EXPECT_THROW(dp.train_step(batches), Error);
+  fault::reset();
+  for (int r = 1; r < ws; ++r) EXPECT_EQ(dp.replica_divergence(r), 0.0f);
+  EXPECT_NO_THROW(dp.train_step(batches));
+  for (int r = 1; r < ws; ++r) EXPECT_EQ(dp.replica_divergence(r), 0.0f);
+}
+
+TEST(Overlap, FaultAtBucketWaitPropagates) {
+  check_fault_propagates("ddp.bucket_wait");
+}
+
+TEST(Overlap, FaultOnCommThreadPropagates) {
+  check_fault_propagates("dap.async_reduce");
+}
+
+}  // namespace
+}  // namespace sf::train
