@@ -3,7 +3,8 @@
 # an ASan+UBSan pass, and a TSan pass over the concurrency-heavy suites
 # (thread pool, parallel_for substrate, parallel kernels, prefetch loader,
 # fault injection, tracer/metrics, DAP communicator, overlapped DDP
-# all-reduce) so data races surface on every change.
+# all-reduce, elastic world-size resize) so data races surface on every
+# change.
 #
 # The plain suite runs twice: once with intra-op parallelism pinned to a
 # single thread and once at SF_NUM_THREADS=4, because every parallelized
@@ -31,6 +32,9 @@ echo "==> parallel scaling + bitwise determinism gate"
 echo "==> overlapped all-reduce: bitwise identity + overlap gate"
 ./build/bench/bench_overlap_allreduce --check --out build/BENCH_overlap.json
 
+echo "==> elastic world size under pinned chaos weather (SF_SEED=2024)"
+SF_SEED=2024 ./build/bench/bench_elastic --check --out build/BENCH_elastic.json
+
 echo "==> address,undefined sanitizer build"
 cmake -B build-asan -S . -DSCALEFOLD_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
@@ -40,8 +44,8 @@ echo "==> thread sanitizer build (concurrency suites)"
 cmake -B build-tsan -S . -DSCALEFOLD_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   test_common test_parallel test_gemm test_fault test_obs test_loader \
-  test_data test_dap test_overlap
+  test_data test_dap test_overlap test_elastic
 SF_NUM_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R '^(test_common|test_parallel|test_gemm|test_fault|test_obs|test_loader|test_data|test_dap|test_overlap)$'
+  -R '^(test_common|test_parallel|test_gemm|test_fault|test_obs|test_loader|test_data|test_dap|test_overlap|test_elastic)$'
 
 echo "==> all green"

@@ -1,5 +1,6 @@
 #include "common/fault.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <mutex>
@@ -52,6 +53,10 @@ void hit_impl(const char* site, const int64_t* context) {
     SiteState& s = it->second;
     ++s.stats.hits;
     if (s.stats.hits <= s.config.skip_hits) return;
+    if (s.config.window_hits >= 0 &&
+        s.stats.hits > s.config.skip_hits + s.config.window_hits) {
+      return;  // eligibility window closed
+    }
     if (s.config.max_fires >= 0 && s.stats.fires >= s.config.max_fires) return;
     if (s.config.probability < 1.0 && !s.rng.bernoulli(s.config.probability)) {
       return;
@@ -120,6 +125,42 @@ SiteStats stats(const std::string& site) {
   std::lock_guard<std::mutex> lock(g_mu);
   auto it = registry().find(site);
   return it == registry().end() ? SiteStats{} : it->second.stats;
+}
+
+void install(const Schedule& schedule) {
+  for (const ScheduleEntry& e : schedule) arm(e.site, e.config);
+}
+
+Schedule random_schedule(const std::vector<std::string>& sites,
+                         const ChaosOptions& options) {
+  SF_CHECK(options.mean_probability >= 0.0);
+  SF_CHECK(options.kill_fraction + options.delay_fraction <= 1.0 + 1e-9)
+      << "chaos fractions must sum to <= 1";
+  Rng rng(options.seed ^ 0xc7a05c7a05ULL);
+  Schedule out;
+  out.reserve(sites.size());
+  for (const std::string& site : sites) {
+    SiteConfig cfg;
+    cfg.probability =
+        std::min(1.0, rng.uniform(0.0, 2.0 * options.mean_probability));
+    cfg.skip_hits = options.max_skip_hits > 0
+                        ? static_cast<int64_t>(rng.uniform_int(
+                              static_cast<uint64_t>(options.max_skip_hits + 1)))
+                        : 0;
+    cfg.window_hits = options.window_hits;
+    cfg.max_fires = options.max_fires_per_site;
+    const double mode = rng.uniform();
+    if (mode < options.kill_fraction) {
+      cfg.kill = true;
+    } else if (mode < options.kill_fraction + options.delay_fraction) {
+      cfg.throws = false;
+      cfg.delay_seconds = rng.uniform(0.0, options.max_delay_seconds);
+    }
+    // Distinct per-site streams, all pinned to the master seed.
+    cfg.seed = options.seed ^ rng.next_u64();
+    out.push_back({site, cfg});
+  }
+  return out;
 }
 
 }  // namespace sf::fault

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 
@@ -58,6 +59,11 @@ struct SiteConfig {
   int64_t skip_hits = 0;
   /// Stop firing after this many fires; < 0 = unlimited.
   int64_t max_fires = 1;
+  /// Eligibility window, measured in hits past skip_hits: only hits
+  /// skip_hits+1 .. skip_hits+window_hits may fire; < 0 = unbounded.
+  /// Hit counts are deterministic program events, so a [skip, window]
+  /// pair is the replayable analog of a wall-clock fault window.
+  int64_t window_hits = -1;
   /// Sleep this long when firing, before throwing (simulates a hang).
   double delay_seconds = 0.0;
   /// Throw WorkerKill instead of InjectedFault (simulated thread crash).
@@ -87,6 +93,52 @@ struct SiteStats {
   int64_t fires = 0;  ///< times it actually fired
 };
 SiteStats stats(const std::string& site);
+
+// ---- Chaos schedules -------------------------------------------------------
+//
+// A schedule is a reproducible bundle of armed sites — the "fault
+// weather" one run of a chaos test experiences. Schedules are plain data:
+// build one by hand, or sample one from a seed with random_schedule(),
+// then install() it. The same (sites, options, seed) triple always
+// produces the same schedule, and the per-site probability streams are
+// seeded from the same seed, so a chaos run is replayable end to end.
+
+struct ScheduleEntry {
+  std::string site;
+  SiteConfig config;
+};
+using Schedule = std::vector<ScheduleEntry>;
+
+/// Arm every entry (re-arming resets that site's counters). Sites not in
+/// the schedule are left untouched; call reset() first for a clean slate.
+void install(const Schedule& schedule);
+
+/// Kinds of weather random_schedule() mixes over the given sites.
+struct ChaosOptions {
+  /// Master seed: drives site assignment and every per-site stream.
+  uint64_t seed = 0;
+  /// Mean per-hit fire probability; each site samples its own probability
+  /// uniformly from (0, 2 * mean_probability).
+  double mean_probability = 0.02;
+  /// Fraction of sites armed as WorkerKill (rank/worker loss); the rest
+  /// split between delay-only jitter and InjectedFault throws.
+  double kill_fraction = 0.25;
+  /// Fraction of sites armed as delay-only (throws = false) jitter.
+  double delay_fraction = 0.5;
+  /// Upper bound for a sampled per-fire delay (delay-only sites).
+  double max_delay_seconds = 2e-3;
+  /// Per-site cap on fires; < 0 = unlimited.
+  int64_t max_fires_per_site = 2;
+  /// Eligibility windows: each site samples skip_hits uniformly from
+  /// [0, max_skip_hits] and keeps window_hits from here (< 0 unbounded).
+  int64_t max_skip_hits = 16;
+  int64_t window_hits = -1;
+};
+
+/// Sample a reproducible randomized schedule over `sites`. Pure function
+/// of (sites, options) — it arms nothing by itself.
+Schedule random_schedule(const std::vector<std::string>& sites,
+                         const ChaosOptions& options);
 
 namespace detail {
 extern std::atomic<int> g_armed_sites;

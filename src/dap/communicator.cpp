@@ -40,13 +40,24 @@ Communicator::~Communicator() {
 }
 
 void Communicator::barrier_locked(std::unique_lock<std::mutex>& lock) {
+  // A peer that died mid-step will never arrive; abort() wakes everyone
+  // parked here so a single failed rank cannot hang the rendezvous.
+  if (sync_aborted_) {
+    throw Error("collective aborted: " + sync_abort_reason_);
+  }
   uint64_t gen = generation_;
   if (++arrived_ == n_) {
     arrived_ = 0;
     ++generation_;
     cv_.notify_all();
   } else {
-    cv_.wait(lock, [&] { return generation_ != gen; });
+    cv_.wait(lock, [&] { return generation_ != gen || sync_aborted_; });
+    if (generation_ == gen) {
+      // Woken by abort, not by barrier completion: this rendezvous will
+      // never finish. (If the barrier completed *and* an abort raced in,
+      // let the rank through — it throws at its next barrier.)
+      throw Error("collective aborted: " + sync_abort_reason_);
+    }
   }
 }
 
@@ -61,6 +72,7 @@ void Communicator::all_gather(int rank, std::span<const float> chunk,
                               std::span<float> out) {
   SF_TRACE_SPAN_ID("dap", "all_gather", rank);
   SF_CHECK(rank >= 0 && rank < n_);
+  SF_FAULT_POINT("dap.all_gather", rank);
   SF_CHECK(out.size() == chunk.size() * static_cast<size_t>(n_))
       << "all_gather output must hold world_size chunks";
   std::unique_lock<std::mutex> lock(mu_);
@@ -84,6 +96,7 @@ void Communicator::all_gather(int rank, std::span<const float> chunk,
 void Communicator::all_reduce_sum(int rank, std::span<float> buf) {
   SF_TRACE_SPAN_ID("dap", "all_reduce", rank);
   SF_CHECK(rank >= 0 && rank < n_);
+  SF_FAULT_POINT("dap.all_reduce", rank);
   std::unique_lock<std::mutex> lock(mu_);
   recv_ptr_[rank] = buf.data();
   count_[rank] = buf.size();
@@ -118,6 +131,7 @@ void Communicator::reduce_scatter_sum(int rank, std::span<const float> full,
                                       std::span<float> out) {
   SF_TRACE_SPAN_ID("dap", "reduce_scatter", rank);
   SF_CHECK(rank >= 0 && rank < n_);
+  SF_FAULT_POINT("dap.reduce_scatter", rank);
   SF_CHECK(full.size() % n_ == 0);
   const size_t slice = full.size() / n_;
   SF_CHECK(out.size() == slice);
@@ -221,7 +235,7 @@ void Communicator::AsyncHandle::wait() {
   comm_->slots_.erase(slot_->seq);
 }
 
-void Communicator::abort_async(const std::string& reason) {
+void Communicator::abort(const std::string& reason) {
   {
     std::lock_guard<std::mutex> lock(async_mu_);
     if (!aborted_) {
@@ -230,9 +244,17 @@ void Communicator::abort_async(const std::string& reason) {
     }
   }
   async_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!sync_aborted_) {
+      sync_aborted_ = true;
+      sync_abort_reason_ = reason;
+    }
+  }
+  cv_.notify_all();
 }
 
-void Communicator::recover_async() {
+void Communicator::recover() {
   {
     std::lock_guard<std::mutex> lock(async_mu_);
     slots_.clear();
@@ -241,6 +263,18 @@ void Communicator::recover_async() {
     abort_reason_.clear();
   }
   async_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Ranks that threw out of a rendezvous left their arrival counted;
+    // with every thread joined the count is garbage — reset it so the
+    // next barrier starts clean. The generation counter keeps advancing
+    // monotonically so no stale waiter can ever match a fresh barrier.
+    arrived_ = 0;
+    ++generation_;
+    sync_aborted_ = false;
+    sync_abort_reason_.clear();
+  }
+  cv_.notify_all();
 }
 
 bool Communicator::async_aborted() const {
@@ -308,6 +342,7 @@ void Communicator::all_to_all(int rank, std::span<const float> send,
                               std::span<float> recv) {
   SF_TRACE_SPAN_ID("dap", "all_to_all", rank);
   SF_CHECK(rank >= 0 && rank < n_);
+  SF_FAULT_POINT("dap.all_to_all", rank);
   SF_CHECK(send.size() == recv.size());
   SF_CHECK(send.size() % n_ == 0) << "all_to_all needs equal chunks";
   const size_t chunk = send.size() / n_;

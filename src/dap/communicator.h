@@ -19,6 +19,13 @@
 // in the same order; a `tag` cross-checks the match). The reduction order
 // is rank-ordered per element, exactly like the blocking path, so the
 // result bits are identical no matter how launches and waits interleave.
+//
+// abort()/recover() provide bounded-time failure propagation for *all*
+// collectives: async waiters throw from wait(), and blocking callers are
+// woken out of their rendezvous barriers and throw — a rank that dies
+// mid-collective can never hang its peers. recover() (threads joined
+// first) returns the communicator to a clean state; the elastic trainer
+// instead rebuilds it at the survivors' world size.
 #pragma once
 
 #include <condition_variable>
@@ -108,18 +115,27 @@ class Communicator {
   AsyncHandle all_reduce_sum_async(int rank, std::span<float> buf,
                                    int64_t tag = -1);
 
-  /// Fail every pending and future async operation with `reason`, waking
-  /// all waiters. Called by a rank that hit an error mid-step so its
-  /// peers cannot hang on collectives the failed rank will never join.
-  void abort_async(const std::string& reason);
+  /// Fail every pending and future collective — async *and* blocking —
+  /// with `reason`, waking all waiters. Called by a rank that hit an
+  /// error (or died) mid-step so its peers cannot hang on collectives the
+  /// failed rank will never join: async waiters throw from wait(),
+  /// blocking callers throw from inside their rendezvous barrier. This is
+  /// the bounded-time failure-detection primitive the elastic resize
+  /// protocol builds on.
+  void abort(const std::string& reason);
 
-  /// Clear the aborted state and all pending async collectives, making
-  /// the communicator usable again. Only call when no rank thread is
-  /// inside an async launch or wait (e.g. after joining the step's
-  /// threads).
-  void recover_async();
+  /// Clear the aborted state, all pending async collectives, and any
+  /// half-formed blocking rendezvous, making the communicator usable
+  /// again. Only call when no rank thread is inside a collective (e.g.
+  /// after joining the step's threads).
+  void recover();
 
-  /// True while abort_async() is in effect.
+  /// Historical names for abort()/recover(), kept because the original
+  /// implementation only covered the async path.
+  void abort_async(const std::string& reason) { abort(reason); }
+  void recover_async() { recover(); }
+
+  /// True while abort() is in effect.
   bool async_aborted() const;
 
   struct Stats {
@@ -147,6 +163,8 @@ class Communicator {
   std::condition_variable cv_;
   int arrived_ = 0;
   uint64_t generation_ = 0;
+  bool sync_aborted_ = false;       ///< abort() observed by blocking path
+  std::string sync_abort_reason_;
 
   // Staging pointers deposited by each rank before a collective.
   std::vector<const float*> send_ptr_;

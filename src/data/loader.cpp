@@ -107,6 +107,7 @@ void PrefetchLoader::worker_loop() {
           requeue_.pop_front();
           ++stats_.requeues;
           obs::Registry::global().counter("loader.requeues").add();
+          obs::emit_instant("loader", "requeue", 0, idx);
           break;  // requeued work does not re-count against max_in_flight
         }
         if (next_to_schedule_ < num_batches_ &&
@@ -133,6 +134,7 @@ void PrefetchLoader::worker_loop() {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.worker_deaths;
       obs::Registry::global().counter("loader.worker_deaths").add();
+      obs::emit_instant("loader", "worker_death", 0, idx);
       return;
     }
 
@@ -152,6 +154,9 @@ void PrefetchLoader::worker_loop() {
             ready_.emplace(idx, std::move(batch));
           } else {
             ++stats_.dropped_duplicates;
+            obs::Registry::global()
+                .counter("loader.dropped_duplicates")
+                .add();
           }
         }
         cv_ready_.notify_all();
@@ -161,6 +166,8 @@ void PrefetchLoader::worker_loop() {
         // Crash injected on the preparation path: same semantics as above.
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.worker_deaths;
+        obs::Registry::global().counter("loader.worker_deaths").add();
+        obs::emit_instant("loader", "worker_death", 0, idx);
         return;
       } catch (const std::exception& e) {
         err = e.what();

@@ -156,6 +156,24 @@ StepStats simulate_step_time(const ClusterConfig& cfg) {
       out.compute_s + out.serial_s + out.optimizer_s + out.cpu_overhead_s +
       out.dap_comm_s + out.grad_comm_s;
   Rng rng(cfg.seed);
+
+  // Persistent heterogeneous node speeds (weather): per-rank speed
+  // factors are sampled once — they model binned silicon, thermal
+  // throttling, or a mis-provisioned host — and the slowest rank gates
+  // every synchronized step, so the whole job pays (max - 1) of the
+  // parallel work.
+  double hetero_extra = 0.0;
+  if (cfg.weather.hetero_speed_sigma > 0.0) {
+    const double sigma = cfg.weather.hetero_speed_sigma;
+    double max_f = 0.0;
+    for (int r = 0; r < cfg.num_gpus; ++r) {
+      // Mean-1 lognormal: E[exp(sigma*Z - sigma^2/2)] = 1.
+      const double f = std::exp(sigma * rng.normal() - 0.5 * sigma * sigma);
+      max_f = std::max(max_f, f);
+    }
+    hetero_extra =
+        std::max(0.0, max_f - 1.0) * (out.compute_s + out.serial_s);
+  }
   double sum_max_noise = 0.0, sum_mean_noise = 0.0;
   const int groups = dp;  // one loader per DAP group
   // Event probabilities scale with step duration (rate processes).
@@ -168,7 +186,16 @@ StepStats simulate_step_time(const ClusterConfig& cfg) {
                   std::exp(calib::kPrepLogSigma * rng.normal());
     return std::min(prep, calib::kPrepMaxSec);
   };
+  double sum_contention = 0.0;
+  const double comm_s = out.dap_comm_s + out.grad_comm_s;
   for (int s = 0; s < cfg.sim_steps; ++s) {
+    // Transient network contention (weather): a congested fabric
+    // stretches this step's collectives on every rank at once, so it adds
+    // to the step directly rather than to the straggler max.
+    if (cfg.weather.contention_prob > 0.0 &&
+        rng.bernoulli(std::min(1.0, cfg.weather.contention_prob))) {
+      sum_contention += cfg.weather.contention_amplitude * comm_s;
+    }
     double max_noise = 0.0, mean_noise = 0.0;
     for (int r = 0; r < cfg.num_gpus; ++r) {
       double noise = 0.0;
@@ -227,9 +254,11 @@ StepStats simulate_step_time(const ClusterConfig& cfg) {
   const double e_max = sum_max_noise / cfg.sim_steps;
   const double e_mean = sum_mean_noise / cfg.sim_steps;
   out.data_wait_s = e_mean;          // average direct stall per rank
-  out.imbalance_s = e_max - e_mean;  // extra wait induced at the barrier
+  out.imbalance_s = e_max - e_mean   // extra wait induced at the barrier
+                    + hetero_extra;  // persistent slow-host straggling
+  out.contention_s = sum_contention / cfg.sim_steps;
 
-  out.mean_step_s = nominal + e_max;
+  out.mean_step_s = nominal + e_max + hetero_extra + out.contention_s;
   // Ideal: perfect DAP scaling of all compute, zero overheads/stalls.
   out.ideal_s = (par_mem + par_math) / n;
   return out;

@@ -47,8 +47,12 @@ struct Toggles {
 
 /// MTBF-driven node-failure model for time-to-train under faults.
 /// Failures arrive as a Poisson process over the whole cluster (rate =
-/// nodes / node MTBF); each failure rolls the run back to the last
-/// checkpoint and costs a restart. Disabled by default.
+/// nodes / node MTBF, plus any preemption rate); each failure either
+/// rolls the run back to the last checkpoint and costs a restart
+/// (elastic = false) or shrinks the job in place and continues at
+/// reduced capacity until a replacement rejoins (elastic = true — the
+/// simulator counterpart of DataParallelTrainer's elastic protocol).
+/// Disabled by default.
 struct FailureModel {
   double node_mtbf_hours = 0.0;  ///< per-node MTBF; <= 0 disables failures
   int gpus_per_node = 8;
@@ -59,6 +63,32 @@ struct FailureModel {
   /// Steps between checkpoints; 0 derives the Young/Daly optimum from
   /// the cluster failure rate and the write cost.
   int checkpoint_interval_steps = 0;
+  /// Cluster-wide preemption rate (spot/priority evictions): an extra
+  /// Poisson failure source on top of the MTBF process.
+  double preempt_rate_per_hour = 0.0;
+  /// Elastic mode: a failure loses only the in-flight step plus a short
+  /// in-memory resync (no checkpoint rollback, no restart), then the run
+  /// continues on the survivors until the replacement node rejoins.
+  bool elastic = false;
+  /// Quiesce + communicator rebuild + in-memory re-shard on a rank loss.
+  double elastic_resync_seconds = 30.0;
+  /// Wall time until a replacement node rejoins (grow) after a loss.
+  double rejoin_seconds = 120.0;
+};
+
+/// Chaos "weather" axes layered onto the step-time simulation:
+/// persistent heterogeneous node speeds (a slow host gates every global
+/// barrier) and transient network contention (a congested fabric
+/// stretches the step's collectives). All default off.
+struct WeatherModel {
+  /// Lognormal sigma of the persistent per-rank speed factor; the
+  /// slowest rank's factor gates the synchronized step.
+  double hetero_speed_sigma = 0.0;
+  /// Per-step probability that a contention event hits the fabric.
+  double contention_prob = 0.0;
+  /// Multiplier on collective time added while contended (1.0 = the
+  /// step's comm doubles).
+  double contention_amplitude = 0.0;
 };
 
 struct ClusterConfig {
@@ -67,6 +97,7 @@ struct ClusterConfig {
   int dap = 1;  ///< ranks cooperating per sample (1 = pure DP)
   Toggles toggles;
   FailureModel failure;
+  WeatherModel weather;
   uint64_t seed = 2024;
   int sim_steps = 300;  ///< steps sampled for noise statistics
 };
@@ -81,8 +112,10 @@ struct StepStats {
   double cpu_overhead_s = 0;  ///< kernel-launch host time
   double dap_comm_s = 0;      ///< DAP all-gather/all-to-all volume cost
   double grad_comm_s = 0;     ///< DP gradient all-reduce (exposed part)
-  double imbalance_s = 0;     ///< straggler-induced extra wait (E[max]-E)
+  double imbalance_s = 0;     ///< straggler-induced extra wait (E[max]-E,
+                              ///< plus persistent hetero-speed stragglers)
   double data_wait_s = 0;     ///< loader stalls at the consumer
+  double contention_s = 0;    ///< transient network-contention stalls
 
   /// Ideal time if every barrier §3.1 lists were eliminated.
   double ideal_s = 0;

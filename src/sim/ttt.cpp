@@ -64,7 +64,7 @@ FailureTttResult time_to_train_under_failures(const TttConfig& cfg,
   r.fault_free = time_to_train(cfg);
   r.trials = trials;
   const FailureModel& fm = cfg.cluster.failure;
-  if (fm.node_mtbf_hours <= 0) {
+  if (fm.node_mtbf_hours <= 0 && fm.preempt_rate_per_hour <= 0) {
     r.total_s = r.fault_free.total_s;
     return r;
   }
@@ -74,7 +74,11 @@ FailureTttResult time_to_train_under_failures(const TttConfig& cfg,
 
   const int nodes =
       (cfg.cluster.num_gpus + fm.gpus_per_node - 1) / fm.gpus_per_node;
-  const double lambda = nodes / (fm.node_mtbf_hours * 3600.0);
+  // Failure sources combine: hardware MTBF over all nodes, plus a
+  // cluster-wide preemption (spot eviction) rate.
+  double lambda = 0.0;
+  if (fm.node_mtbf_hours > 0) lambda += nodes / (fm.node_mtbf_hours * 3600.0);
+  lambda += fm.preempt_rate_per_hour / 3600.0;
   const double cluster_mtbf_s = 1.0 / lambda;
   // Young/Daly first-order optimum: sqrt(2 * write_cost * MTBF).
   r.daly_interval_s =
@@ -93,6 +97,77 @@ FailureTttResult time_to_train_under_failures(const TttConfig& cfg,
   // runs in wall time (lost checkpoint-write progress is rolled back with
   // the work segment it belongs to).
   const double W = r.fault_free.train_s + r.fault_free.eval_s;
+
+  if (fm.elastic) {
+    // Elastic branch (the DataParallelTrainer protocol at cluster scale):
+    // a failure discards only the in-flight step and costs a short
+    // in-memory resync — no checkpoint writes, no rollback, no restart.
+    // The survivors keep training at (nodes - lost)/nodes capacity until
+    // the replacement rejoins rejoin_seconds later.
+    SF_CHECK(fm.elastic_resync_seconds >= 0);
+    SF_CHECK(fm.rejoin_seconds >= 0);
+    r.checkpoint_interval_s = 0;
+    r.checkpoint_interval_steps = 0;
+    double sum_total = 0, sum_failures = 0, sum_lost = 0, sum_resync = 0,
+           sum_degraded = 0;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(cfg.cluster.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+      double wall = r.fault_free.init_s;
+      double done = 0;  // full-capacity work-seconds completed
+      int lost_nodes = 0;
+      std::vector<double> rejoins;  // wall times replacements come back
+      double next_fail = wall + rng.exponential(lambda);
+      int failures = 0;
+      double lost = 0, resync = 0, degraded = 0;
+      while (done < W) {
+        const double rate =
+            static_cast<double>(std::max(1, nodes - lost_nodes)) / nodes;
+        double next_rejoin = std::numeric_limits<double>::infinity();
+        for (double rj : rejoins) next_rejoin = std::min(next_rejoin, rj);
+        const double finish = wall + (W - done) / rate;
+        const double next_event = std::min({finish, next_rejoin, next_fail});
+        // Advance work to the event; degraded capacity stretches it.
+        const double span = next_event - wall;
+        done += span * rate;
+        degraded += span * (1.0 - rate);
+        wall = next_event;
+        if (done >= W - 1e-9) break;
+        if (next_event == next_rejoin) {
+          for (size_t i = 0; i < rejoins.size(); ++i) {
+            if (rejoins[i] == next_rejoin) {
+              rejoins.erase(rejoins.begin() + i);
+              break;
+            }
+          }
+          lost_nodes = std::max(0, lost_nodes - 1);
+          continue;
+        }
+        // Failure: lose the in-flight step, quiesce + rebuild, continue
+        // on the survivors.
+        ++failures;
+        const double step_lost = std::min(step_s, W - done);
+        done = std::max(0.0, done - step_lost);
+        lost += step_lost;
+        wall += fm.elastic_resync_seconds;
+        resync += fm.elastic_resync_seconds;
+        lost_nodes = std::min(nodes - 1, lost_nodes + 1);
+        rejoins.push_back(wall + fm.rejoin_seconds);
+        next_fail = wall + rng.exponential(lambda);
+        if (failures > 100000) break;  // pathological configs: bail out
+      }
+      sum_total += wall;
+      sum_failures += failures;
+      sum_lost += lost;
+      sum_resync += resync;
+      sum_degraded += degraded;
+    }
+    r.total_s = sum_total / trials;
+    r.expected_failures = sum_failures / trials;
+    r.lost_work_s = sum_lost / trials;
+    r.elastic_resync_s = sum_resync / trials;
+    r.degraded_s = sum_degraded / trials;
+    return r;
+  }
   double sum_total = 0, sum_failures = 0, sum_lost = 0, sum_restart = 0,
          sum_ckpt = 0;
   for (int t = 0; t < trials; ++t) {

@@ -73,14 +73,21 @@ PretrainingResult simulate_pretraining(int64_t total_steps = 55000,
 struct FailureTttResult {
   TttResult fault_free;          ///< the underlying no-failure run
   double total_s = 0;            ///< expected wall clock with failures
-  double expected_failures = 0;  ///< mean failures per run
+  double expected_failures = 0;  ///< mean failures per run (MTBF and
+                                 ///< preemption events combined)
   double lost_work_s = 0;        ///< mean time rolled back (work + partial
-                                 ///< checkpoint writes)
+                                 ///< checkpoint writes); elastic mode: the
+                                 ///< discarded in-flight steps
   double restart_s = 0;          ///< mean time spent restarting
   double checkpoint_overhead_s = 0;  ///< mean time writing checkpoints
   double checkpoint_interval_s = 0;  ///< interval actually simulated
   int checkpoint_interval_steps = 0;
   double daly_interval_s = 0;    ///< analytic Young/Daly optimum
+  /// Elastic mode only: mean time quiescing + rebuilding on rank loss,
+  /// and mean extra wall clock from running at reduced capacity until
+  /// replacements rejoined.
+  double elastic_resync_s = 0;
+  double degraded_s = 0;
   int trials = 0;
 };
 

@@ -16,7 +16,9 @@ namespace sf::train {
 DataParallelTrainer::DataParallelTrainer(const model::ModelConfig& cfg,
                                          TrainConfig train_cfg,
                                          int world_size, uint64_t model_seed)
-    : world_size_(world_size),
+    : model_cfg_(cfg),
+      model_seed_(model_seed),
+      world_size_(world_size),
       train_cfg_(train_cfg),
       comm_(std::make_unique<dap::Communicator>(world_size)),
       recycle_rng_(train_cfg.seed) {
@@ -42,10 +44,94 @@ DataParallelTrainer::DataParallelTrainer(const model::ModelConfig& cfg,
   grad_norms_.assign(world_size_, 0.0f);
 }
 
+void DataParallelTrainer::remove_ranks(const std::vector<char>& dead,
+                                       int steps_lost,
+                                       double detect_seconds) {
+  Timer timer;
+  const int old_ws = world_size_;
+  int survivors = 0;
+  for (char d : dead) survivors += d ? 0 : 1;
+  SF_CHECK(survivors >= 1) << "no surviving ranks to shrink to";
+  // Rebuild the communicator *before* dropping replicas: constructing the
+  // new one and destroying the old joins the old comm thread, so no
+  // in-flight reduction can still touch a dying replica's bucket buffers.
+  comm_ = std::make_unique<dap::Communicator>(survivors);
+  for (int r = old_ws - 1; r >= 0; --r) {
+    if (!dead[r]) continue;
+    replicas_.erase(replicas_.begin() + r);
+    optimizers_.erase(optimizers_.begin() + r);
+    rank_params_.erase(rank_params_.begin() + r);
+    if (!bucket_stores_.empty()) {
+      bucket_stores_.erase(bucket_stores_.begin() + r);
+    }
+  }
+  world_size_ = survivors;
+  losses_.assign(world_size_, 0.0f);
+  lddts_.assign(world_size_, 0.0f);
+  grad_norms_.assign(world_size_, 0.0f);
+  elastic_events_.push_back({step_, old_ws, world_size_, old_ws - survivors,
+                             steps_lost, detect_seconds + timer.elapsed()});
+  obs::emit_instant("ddp", "shrink", 0, world_size_);
+}
+
+void DataParallelTrainer::shrink_to(int new_world_size) {
+  SF_CHECK(new_world_size >= 1 && new_world_size <= world_size_);
+  if (new_world_size == world_size_) return;
+  // Every replica holds the same bits; dropping the top ranks loses
+  // nothing.
+  std::vector<char> dead(world_size_, 0);
+  for (int r = new_world_size; r < world_size_; ++r) dead[r] = 1;
+  const auto n_events = elastic_events_.size();
+  remove_ranks(dead, /*steps_lost=*/0, /*detect_seconds=*/0.0);
+  elastic_events_[n_events].ranks_lost = 0;  // planned, not killed
+}
+
+void DataParallelTrainer::grow_to(int new_world_size) {
+  SF_CHECK(new_world_size >= world_size_);
+  if (new_world_size == world_size_) return;
+  Timer timer;
+  const int old_ws = world_size_;
+  OptimizerConfig oc = train_cfg_.opt;
+  oc.adam.lr = train_cfg_.base_lr;
+  // In-memory state transfer: the new rank's params and full
+  // optimizer/SWA state are bit-exact copies of rank 0's — the elastic
+  // "re-shard" never touches disk. (With replicated DP state, re-sharding
+  // degenerates to replication; the bucket layout is recomputed from the
+  // parameter list and is identical by construction.)
+  const auto state = optimizers_[0]->export_state();
+  for (int r = old_ws; r < new_world_size; ++r) {
+    replicas_.push_back(
+        std::make_unique<model::MiniAlphaFold>(model_cfg_, model_seed_));
+    auto params = replicas_.back()->params().all();
+    SF_CHECK(params.size() == rank_params_[0].size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].node()->value.copy_from(rank_params_[0][i].value());
+    }
+    optimizers_.push_back(std::make_unique<Optimizer>(params, oc));
+    optimizers_.back()->import_state(state);
+    rank_params_.push_back(std::move(params));
+    if (train_cfg_.overlap_grad_comm) {
+      bucket_stores_.push_back(std::make_unique<BucketStore>(
+          rank_params_.back(), train_cfg_.grad_bucket_bytes));
+    }
+  }
+  comm_ = std::make_unique<dap::Communicator>(new_world_size);
+  world_size_ = new_world_size;
+  losses_.assign(world_size_, 0.0f);
+  lddts_.assign(world_size_, 0.0f);
+  grad_norms_.assign(world_size_, 0.0f);
+  elastic_events_.push_back(
+      {step_, old_ws, world_size_, 0, 0, timer.elapsed()});
+  obs::emit_instant("ddp", "grow", 0, world_size_);
+}
+
 void DataParallelTrainer::rank_step_blocking(int rank,
                                              const data::Batch& batch,
                                              int64_t recycles, float lr_scale,
                                              float inv_w) {
+  // Step-boundary fault site: hit exactly world_size times per step, so a
+  // kill armed here has a deterministic hit-count position in the run.
+  SF_FAULT_POINT("ddp.rank_step", rank);
   auto& net = *replicas_[rank];
   auto& opt = *optimizers_[rank];
   opt.zero_grad();
@@ -67,6 +153,13 @@ void DataParallelTrainer::rank_step_blocking(int rank,
     comm_->all_reduce_sum(rank, node->grad.span());
     node->grad.scale_(inv_w);
   }
+  if (train_cfg_.elastic_world) {
+    // Commit barrier (all-or-nothing): a killed rank never reaches this
+    // rendezvous, so either every survivor passes it and applies the
+    // update, or every survivor throws out of it and nobody does —
+    // surviving replicas cannot diverge across a mid-step rank loss.
+    comm_->barrier(rank);
+  }
   opt.step(lr_scale);
   grad_norms_[rank] = opt.last_grad_norm();
 }
@@ -75,6 +168,7 @@ void DataParallelTrainer::rank_step_overlapped(int rank,
                                                const data::Batch& batch,
                                                int64_t recycles,
                                                float lr_scale, float inv_w) {
+  SF_FAULT_POINT("ddp.rank_step", rank);
   auto& net = *replicas_[rank];
   auto& opt = *optimizers_[rank];
   auto& store = *bucket_stores_[rank];
@@ -139,6 +233,13 @@ void DataParallelTrainer::rank_step_overlapped(int rank,
   // Partials combine in parameter order — bit-identical to the blocking
   // Optimizer::step's grad_norm_bucketed over per-tensor buckets.
   const float norm = kernels::grad_norm_from_partials(partials);
+  if (train_cfg_.elastic_world) {
+    // Commit barrier (all-or-nothing): a killed rank never reaches this
+    // rendezvous, so either every survivor passes it and applies the
+    // update, or every survivor throws out of it and nobody does —
+    // surviving replicas cannot diverge across a mid-step rank loss.
+    comm_->barrier(rank);
+  }
   opt.step_with_norm(norm, lr_scale);
   grad_norms_[rank] = opt.last_grad_norm();
 }
@@ -165,6 +266,11 @@ StepResult DataParallelTrainer::train_step(
 
   const float inv_w = 1.0f / static_cast<float>(world_size_);
   std::vector<std::exception_ptr> errors(world_size_);
+  std::vector<char> killed(world_size_, 0);
+  // Commit detector for the elastic path: the commit barrier guarantees
+  // survivors either all advanced their optimizer past this count or none
+  // did.
+  const int64_t opt_steps_before = optimizers_[0]->step_count();
 
   auto rank_fn = [&](int rank) {
     try {
@@ -173,12 +279,23 @@ StepResult DataParallelTrainer::train_step(
       } else {
         rank_step_blocking(rank, batches[rank], recycles, lr_scale, inv_w);
       }
+    } catch (const fault::WorkerKill& kill) {
+      if (train_cfg_.elastic_world) {
+        killed[rank] = 1;
+        // Failure detection: wake every peer parked on any collective
+        // (async wait or blocking rendezvous) so loss of this rank is
+        // observed in bounded time instead of hanging the step.
+        comm_->abort("rank " + std::to_string(rank) +
+                     " lost: " + kill.what());
+        return;
+      }
+      errors[rank] = std::current_exception();
+      comm_->abort("rank " + std::to_string(rank) + " failed mid-step");
     } catch (...) {
       errors[rank] = std::current_exception();
-      // Wake peers blocked on async collectives this rank will never
-      // join, so a single failing rank cannot hang the step.
-      comm_->abort_async("rank " + std::to_string(rank) +
-                         " failed mid-step");
+      // Wake peers blocked on collectives this rank will never join, so a
+      // single failing rank cannot hang the step.
+      comm_->abort("rank " + std::to_string(rank) + " failed mid-step");
     }
   };
 
@@ -190,11 +307,70 @@ StepResult DataParallelTrainer::train_step(
     for (auto& t : threads) t.join();
   }
 
+  int ranks_lost = 0;
+  for (char k : killed) ranks_lost += k ? 1 : 0;
+
+  if (ranks_lost > 0) {
+    // Elastic recovery (all rank threads are quiesced by the joins above).
+    const double detect_seconds = timer.elapsed();
+    if (ranks_lost == world_size_) {
+      comm_->recover();
+      throw Error("elastic step lost all " + std::to_string(world_size_) +
+                  " ranks; nothing to recover onto");
+    }
+    // Did the interrupted update commit? The commit barrier makes this
+    // all-or-nothing across survivors; assert that invariant held.
+    bool applied = false;
+    bool first = true;
+    for (int r = 0; r < world_size_; ++r) {
+      if (killed[r]) continue;
+      const bool rank_applied = optimizers_[r]->step_count() > opt_steps_before;
+      if (first) {
+        applied = rank_applied;
+        first = false;
+      } else {
+        SF_CHECK(rank_applied == applied)
+            << "survivors disagree on step commit; elastic all-or-nothing "
+               "invariant broken";
+      }
+      // Survivor errors here are abort fallout (thrown collectives), not
+      // independent failures: the resize subsumes them.
+      errors[r] = nullptr;
+    }
+    const bool discarded = !applied;
+    StepResult result;
+    result.recycles = recycles;
+    result.ranks_lost = ranks_lost;
+    result.lost_to_fault = discarded;
+    if (applied) {
+      // Commit implies every rank (including the ones killed afterwards)
+      // finished forward, so all old-world losses are valid and this is
+      // exactly the mean the applied update used. Capture before
+      // remove_ranks resets the metric vectors.
+      for (int r = 0; r < world_size_; ++r) {
+        result.loss += losses_[r] * inv_w;
+        result.lddt += lddts_[r] * inv_w;
+      }
+      for (int r = 0; r < world_size_; ++r) {
+        if (!killed[r]) {
+          result.grad_norm = grad_norms_[r];
+          break;
+        }
+      }
+    } else {
+      --step_;  // the step number is retried at the new size
+    }
+    remove_ranks(killed, discarded ? 1 : 0, detect_seconds);
+    result.seconds = timer.elapsed();
+    return result;
+  }
+
   for (int r = 0; r < world_size_; ++r) {
     if (errors[r]) {
-      // All rank threads are joined: safe to reset the async machinery so
-      // the communicator (and trainer) stay usable after the failure.
-      comm_->recover_async();
+      // All rank threads are joined: safe to reset the abort/async
+      // machinery so the communicator (and trainer) stay usable after the
+      // failure.
+      comm_->recover();
       std::rethrow_exception(errors[r]);
     }
   }

@@ -22,6 +22,29 @@
 // pure function of the parameter list, reductions are rank-ordered per
 // element either way, and the norm partials sum in parameter order —
 // exactly what the blocking Optimizer::step computes.
+//
+// Elastic world size (TrainConfig::elastic_world): ranks can leave or
+// join at step boundaries without a checkpoint. The protocol exploits two
+// invariants built earlier: replicas are bit-identical in lockstep, and
+// BucketStore layout is a pure function of the parameter list.
+//   detect   — a killed rank's WorkerKill reaches its thread's catch,
+//              which calls Communicator::abort(); peers parked on any
+//              collective (async wait or blocking rendezvous) throw in
+//              bounded time instead of hanging;
+//   quiesce  — the step's threads are joined; a commit barrier placed
+//              after the last bucket wait guarantees the interrupted
+//              update applied on *all* survivors or on none (a killed
+//              rank never reaches the barrier, so nobody commits);
+//   rebuild  — the Communicator is reconstructed at the survivor count
+//              (in-flight buckets die with the old instance);
+//   re-shard — nothing to move for model/optimizer/SWA state: every
+//              survivor already holds the full bit-identical copy, and
+//              its BucketStore layout is unchanged because the parameter
+//              list is unchanged. grow_to() is the inverse: new ranks
+//              clone params and optimizer state from rank 0 *in memory*
+//              and compute the same bucket layout from the same list.
+// A discarded step surfaces as StepResult::lost_to_fault; the caller
+// re-issues the step with world_size() batches.
 #pragma once
 
 #include <memory>
@@ -35,6 +58,17 @@
 
 namespace sf::train {
 
+/// One world-size change performed by the elastic protocol (kill-driven
+/// shrink, or planned shrink_to()/grow_to()).
+struct ElasticEvent {
+  int64_t step = 0;            ///< trainer step count when it happened
+  int old_world_size = 0;
+  int new_world_size = 0;
+  int ranks_lost = 0;          ///< killed ranks (0 for a planned resize)
+  int steps_lost = 0;          ///< step attempts discarded by the resize
+  double recovery_seconds = 0; ///< quiesce + rebuild + re-shard time
+};
+
 class DataParallelTrainer {
  public:
   DataParallelTrainer(const model::ModelConfig& cfg, TrainConfig train_cfg,
@@ -42,12 +76,41 @@ class DataParallelTrainer {
 
   /// One optimization step: batches.size() must equal world_size; rank r
   /// trains on batches[r]. Returns metrics averaged over ranks.
+  ///
+  /// With TrainConfig::elastic_world, a step that loses ranks to an
+  /// injected kill shrinks the trainer in place instead of throwing:
+  /// world_size() is smaller on return, the result carries ranks_lost
+  /// and (unless the update had already committed on every survivor)
+  /// lost_to_fault, and the caller re-issues the step with world_size()
+  /// batches. Surviving replicas remain bit-identical throughout.
   StepResult train_step(std::span<const data::Batch> batches);
+
+  /// Planned resize: add ranks up to `new_world_size`. New replicas clone
+  /// parameters and full optimizer/SWA state from rank 0 in memory — no
+  /// checkpoint involved — and compute the identical bucket layout from
+  /// the identical parameter list.
+  void grow_to(int new_world_size);
+
+  /// Planned resize: drop the highest ranks down to `new_world_size`
+  /// (every replica holds the same state, so nothing is lost).
+  void shrink_to(int new_world_size);
 
   int world_size() const { return world_size_; }
   model::MiniAlphaFold& replica(int rank) { return *replicas_[rank]; }
   int64_t step_count() const { return step_; }
   dap::Communicator::Stats comm_stats() const { return comm_->stats(); }
+
+  /// Resize history (kill-driven and planned), oldest first.
+  const std::vector<ElasticEvent>& elastic_events() const {
+    return elastic_events_;
+  }
+
+  /// Rank's bucket store (overlapped path only; nullptr otherwise) —
+  /// exposed so tests can assert re-bucketing determinism across resizes.
+  const BucketStore* bucket_store(int rank) const {
+    return train_cfg_.overlap_grad_comm ? bucket_stores_[rank].get()
+                                        : nullptr;
+  }
 
   /// Max |param difference| between replica 0 and replica `rank`
   /// (bit-identical lockstep => 0).
@@ -58,7 +121,14 @@ class DataParallelTrainer {
                           int64_t recycles, float lr_scale, float inv_w);
   void rank_step_overlapped(int rank, const data::Batch& batch,
                             int64_t recycles, float lr_scale, float inv_w);
+  /// Drop the ranks flagged in `dead` (rebuilding the communicator at the
+  /// survivor count) and append an ElasticEvent. `steps_lost` says
+  /// whether the in-flight update was discarded.
+  void remove_ranks(const std::vector<char>& dead, int steps_lost,
+                    double detect_seconds);
 
+  model::ModelConfig model_cfg_;
+  uint64_t model_seed_;
   int world_size_;
   TrainConfig train_cfg_;
   std::unique_ptr<dap::Communicator> comm_;
@@ -67,6 +137,7 @@ class DataParallelTrainer {
   std::vector<std::vector<autograd::Var>> rank_params_;
   std::vector<std::unique_ptr<BucketStore>> bucket_stores_;
   std::vector<float> losses_, lddts_, grad_norms_;
+  std::vector<ElasticEvent> elastic_events_;
   Rng recycle_rng_;
   int64_t step_ = 0;
 };

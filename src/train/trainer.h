@@ -50,6 +50,15 @@ struct TrainConfig {
   bool overlap_grad_comm = true;
   /// Target gradient-bucket capacity in bytes for the overlapped path.
   int64_t grad_bucket_bytes = 64 * 1024;
+  /// Elastic world size (DataParallelTrainer only): a rank lost to an
+  /// injected WorkerKill mid-step no longer fails the step with an
+  /// exception — the survivors detect the loss in bounded time (comm
+  /// abort), quiesce, rebuild the communicator at the smaller world size,
+  /// and training continues without touching a checkpoint. The interrupted
+  /// step's update is discarded all-or-nothing, so surviving replicas stay
+  /// bit-identical. false = any kill propagates as an error (the
+  /// pre-elastic behavior).
+  bool elastic_world = false;
 };
 
 struct StepResult {
@@ -59,6 +68,11 @@ struct StepResult {
   int64_t recycles = 0;
   double seconds = 0.0;
   bool skipped = false;  ///< update skipped by the NaN/Inf guard
+  /// Elastic data-parallel training only: ranks lost to a kill during
+  /// this call, and whether the step's update had to be discarded (the
+  /// caller re-runs the step at the new world size; check world_size()).
+  int ranks_lost = 0;
+  bool lost_to_fault = false;
 };
 
 class Trainer {

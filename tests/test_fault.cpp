@@ -147,5 +147,105 @@ TEST_F(FaultTest, ConcurrentHitsAreSafeAndCounted) {
   EXPECT_LE(s.fires, s.hits);
 }
 
+// ---- chaos schedules -------------------------------------------------------
+
+TEST_F(FaultTest, WindowHitsBoundsEligibility) {
+  SiteConfig cfg;
+  cfg.skip_hits = 2;
+  cfg.window_hits = 3;   // only hits 3,4,5 eligible
+  cfg.max_fires = -1;    // unlimited inside the window
+  arm("t.window", cfg);
+  const int fired = count_fires("t.window", 10);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(stats("t.window").hits, 10);
+  EXPECT_EQ(stats("t.window").fires, 3);
+}
+
+TEST_F(FaultTest, WindowHitsUnboundedByDefault) {
+  SiteConfig cfg;
+  cfg.max_fires = -1;
+  arm("t.window.open", cfg);
+  EXPECT_EQ(count_fires("t.window.open", 7), 7);
+}
+
+TEST_F(FaultTest, RandomScheduleIsPureFunctionOfSeed) {
+  const std::vector<std::string> sites = {"a.one", "b.two", "c.three",
+                                          "d.four", "e.five"};
+  ChaosOptions opt;
+  opt.seed = 99;
+  Schedule s1 = random_schedule(sites, opt);
+  Schedule s2 = random_schedule(sites, opt);
+  ASSERT_EQ(s1.size(), sites.size());
+  ASSERT_EQ(s2.size(), s1.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].site, s2[i].site);
+    EXPECT_EQ(s1[i].config.probability, s2[i].config.probability);
+    EXPECT_EQ(s1[i].config.skip_hits, s2[i].config.skip_hits);
+    EXPECT_EQ(s1[i].config.kill, s2[i].config.kill);
+    EXPECT_EQ(s1[i].config.throws, s2[i].config.throws);
+    EXPECT_EQ(s1[i].config.delay_seconds, s2[i].config.delay_seconds);
+    EXPECT_EQ(s1[i].config.seed, s2[i].config.seed);
+  }
+  opt.seed = 100;
+  Schedule s3 = random_schedule(sites, opt);
+  bool any_diff = false;
+  for (size_t i = 0; i < s1.size(); ++i) {
+    any_diff = any_diff || s1[i].config.seed != s3[i].config.seed;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds produced identical schedules";
+}
+
+TEST_F(FaultTest, InstalledScheduleReplaysFireForFireFromSeed) {
+  const std::vector<std::string> sites = {"r.alpha", "r.beta", "r.gamma"};
+  ChaosOptions opt;
+  opt.seed = 7;
+  opt.mean_probability = 0.3;
+  opt.kill_fraction = 0.0;   // keep everything throwing for countability
+  opt.delay_fraction = 0.0;
+  opt.max_fires_per_site = -1;
+  opt.max_skip_hits = 4;
+  auto run_once = [&] {
+    reset();
+    install(random_schedule(sites, opt));
+    std::vector<int> fires;
+    for (const auto& site : sites) {
+      fires.push_back(count_fires(site.c_str(), 50));
+    }
+    reset();
+    return fires;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b) << "same schedule + seed must fire identically";
+  int total = 0;
+  for (int f : a) total += f;
+  EXPECT_GT(total, 0) << "schedule fired nothing; chaos run is vacuous";
+}
+
+TEST_F(FaultTest, RandomScheduleMixesModes) {
+  std::vector<std::string> sites;
+  for (int i = 0; i < 64; ++i) sites.push_back("m.site" + std::to_string(i));
+  ChaosOptions opt;
+  opt.seed = 3;
+  opt.kill_fraction = 0.25;
+  opt.delay_fraction = 0.5;
+  Schedule s = random_schedule(sites, opt);
+  int kills = 0, delays = 0, throws = 0;
+  for (const auto& e : s) {
+    if (e.config.kill) {
+      ++kills;
+    } else if (!e.config.throws) {
+      ++delays;
+      EXPECT_GE(e.config.delay_seconds, 0.0);
+      EXPECT_LE(e.config.delay_seconds, opt.max_delay_seconds);
+    } else {
+      ++throws;
+    }
+  }
+  EXPECT_GT(kills, 0);
+  EXPECT_GT(delays, 0);
+  EXPECT_GT(throws, 0);
+}
+
 }  // namespace
 }  // namespace sf::fault

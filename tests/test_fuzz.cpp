@@ -356,5 +356,56 @@ TEST(BucketStoreFuzz, RandomShapesAssembleAndRoundTrip) {
   }
 }
 
+TEST(BucketStoreFuzz, ReBucketingIsDeterministicAcrossWorldSizes) {
+  // The elastic re-shard invariant: the bucket layout is a pure function
+  // of (parameter shape list, capacity). Random shape lists, rebuilt into
+  // stores any number of times — simulating every rank of any world size,
+  // and the rebuilds a shrink -> grow performs — must produce identical
+  // layouts, so resized trainers re-bucket without negotiation.
+  Rng rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int num_params = 1 + static_cast<int>(rng.uniform_int(32));
+    const int64_t capacity_bytes =
+        4 + static_cast<int64_t>(rng.uniform_int(8192));
+    std::vector<int64_t> shapes(num_params);
+    for (int i = 0; i < num_params; ++i) {
+      shapes[i] = 1 + static_cast<int64_t>(rng.uniform_int(800));
+    }
+    auto make_store = [&] {
+      // Fresh tensors each time: only the shapes may matter.
+      std::vector<autograd::Var> params;
+      for (int i = 0; i < num_params; ++i) {
+        Tensor t = Tensor::zeros({shapes[i]});
+        fill_normal(rng, t.data(), shapes[i], 0.0f, 1.0f);
+        params.emplace_back(std::move(t), /*requires_grad=*/true);
+      }
+      return train::BucketStore(std::move(params), capacity_bytes);
+    };
+
+    // "world sizes" 2, 4, then a shrink -> grow rebuild: 7 independent
+    // constructions in total.
+    train::BucketStore ref = make_store();
+    for (int rebuild = 0; rebuild < 6; ++rebuild) {
+      train::BucketStore other = make_store();
+      ASSERT_EQ(other.num_buckets(), ref.num_buckets())
+          << "trial " << trial << " rebuild " << rebuild;
+      for (int b = 0; b < ref.num_buckets(); ++b) {
+        const auto& ra = ref.bucket(b);
+        const auto& rb = other.bucket(b);
+        ASSERT_EQ(rb.size(), ra.size());
+        EXPECT_EQ(other.bucket_numel(b), ref.bucket_numel(b));
+        for (size_t j = 0; j < ra.size(); ++j) {
+          EXPECT_EQ(rb[j].param_index, ra[j].param_index);
+          EXPECT_EQ(rb[j].offset, ra[j].offset);
+          EXPECT_EQ(rb[j].numel, ra[j].numel);
+        }
+      }
+      for (int i = 0; i < num_params; ++i) {
+        EXPECT_EQ(other.bucket_of(i), ref.bucket_of(i));
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sf

@@ -10,6 +10,7 @@
 #include "common/fault.h"
 #include "common/timer.h"
 #include "data/loader.h"
+#include "obs/metrics.h"
 
 namespace sf::data {
 namespace {
@@ -365,6 +366,73 @@ TEST_F(LoaderFault, HungPreparationIsRequeuedAndDuplicateDropped) {
   EXPECT_GE(s.requeues, 1);
   EXPECT_GE(s.dropped_duplicates, 1);
   EXPECT_EQ(s.worker_deaths, 0);
+}
+
+TEST_F(LoaderFault, RegistryCountersTrackRetryRequeueAndDeathStats) {
+  // The sf_obs metrics registry must see the same fault-path events the
+  // per-loader LoaderStats records: retries, requeues, worker deaths and
+  // dropped duplicates (counters are global, so compare deltas).
+  auto& reg = obs::Registry::global();
+  const int64_t retries0 = reg.counter("loader.retries").value();
+  const int64_t requeues0 = reg.counter("loader.requeues").value();
+  const int64_t deaths0 = reg.counter("loader.worker_deaths").value();
+  const int64_t dupes0 = reg.counter("loader.dropped_duplicates").value();
+
+  const int64_t n = 24;
+  // One transient prep failure (retried), then a kill on the prep path.
+  fault::SiteConfig retry_fc;
+  retry_fc.skip_hits = 1;
+  retry_fc.max_fires = 1;
+  fault::arm("loader.prep", retry_fc);
+  fault::SiteConfig kill_fc;
+  kill_fc.kill = true;
+  kill_fc.skip_hits = 5;
+  fault::arm("loader.worker.kill", kill_fc);
+  LoaderConfig c = config(YieldPolicy::kReadyFirst, 3, 6);
+  c.prep_timeout_seconds = 0.03;
+  c.max_retries = 4;
+  c.retry_backoff_seconds = 1e-4;
+  PrefetchLoader loader(delayed_batches(std::vector<int>(n, 1)), n, c);
+  std::set<int64_t> got;
+  while (loader.has_next()) {
+    EXPECT_TRUE(got.insert(loader.next().index).second);
+  }
+  EXPECT_EQ(got.size(), static_cast<size_t>(n));
+
+  const auto s = loader.stats_snapshot();
+  EXPECT_GE(s.retries, 1);
+  EXPECT_EQ(s.worker_deaths, 1);
+  EXPECT_GE(s.requeues, 1);
+  EXPECT_EQ(reg.counter("loader.retries").value() - retries0, s.retries);
+  EXPECT_EQ(reg.counter("loader.requeues").value() - requeues0, s.requeues);
+  EXPECT_EQ(reg.counter("loader.worker_deaths").value() - deaths0,
+            s.worker_deaths);
+  EXPECT_EQ(reg.counter("loader.dropped_duplicates").value() - dupes0,
+            s.dropped_duplicates);
+}
+
+TEST_F(LoaderFault, PrepPathKillCountsAsWorkerDeathInRegistry) {
+  // Regression: the prep-path WorkerKill catch used to update only the
+  // local LoaderStats, never the registry counter.
+  auto& reg = obs::Registry::global();
+  const int64_t deaths0 = reg.counter("loader.worker_deaths").value();
+  fault::SiteConfig fc;
+  fc.kill = true;
+  fc.skip_hits = 2;
+  fault::arm("loader.prep", fc);  // fires inside the preparation attempt
+  const int64_t n = 12;
+  LoaderConfig c = config(YieldPolicy::kReadyFirst, 3, 6);
+  c.prep_timeout_seconds = 0.03;
+  PrefetchLoader loader(delayed_batches(std::vector<int>(n, 1)), n, c);
+  std::set<int64_t> got;
+  while (loader.has_next()) {
+    EXPECT_TRUE(got.insert(loader.next().index).second);
+  }
+  EXPECT_EQ(got.size(), static_cast<size_t>(n));
+  const auto s = loader.stats_snapshot();
+  EXPECT_EQ(s.worker_deaths, 1);
+  EXPECT_EQ(reg.counter("loader.worker_deaths").value() - deaths0,
+            s.worker_deaths);
 }
 
 TEST_F(LoaderFault, EarlyDestructionCleanUnderBothPoliciesWithWatchdog) {

@@ -478,6 +478,83 @@ TEST(TttFailures, IntervalSearchBeatsTheExtremes) {
   }
 }
 
+// ---- Weather axes and elastic time-to-train ---------------------------
+
+TEST(Weather, HeterogeneousSpeedsStretchTheStep) {
+  ClusterConfig calm = base_cfg(256);
+  ClusterConfig stormy = calm;
+  stormy.weather.hetero_speed_sigma = 0.2;
+  auto a = simulate_step_time(calm);
+  auto b = simulate_step_time(stormy);
+  EXPECT_GT(b.imbalance_s, a.imbalance_s);
+  EXPECT_GT(b.mean_step_s, a.mean_step_s);
+  // Deterministic in the seed.
+  EXPECT_EQ(simulate_step_time(stormy).mean_step_s, b.mean_step_s);
+}
+
+TEST(Weather, ContentionChargesTheCollectives) {
+  ClusterConfig calm = base_cfg(256);
+  calm.dap = 8;
+  ClusterConfig congested = calm;
+  congested.weather.contention_prob = 0.3;
+  congested.weather.contention_amplitude = 1.0;
+  auto a = simulate_step_time(calm);
+  auto b = simulate_step_time(congested);
+  EXPECT_EQ(a.contention_s, 0.0);
+  EXPECT_GT(b.contention_s, 0.0);
+  EXPECT_GT(b.mean_step_s, a.mean_step_s);
+  // E[contention] = p * amplitude * comm; the sampled mean must be near.
+  const double expected = 0.3 * (b.dap_comm_s + b.grad_comm_s);
+  EXPECT_NEAR(b.contention_s, expected, expected * 0.5);
+}
+
+TEST(TttElastic, BeatsCheckpointRollbackUnderSameFailures) {
+  TttConfig cp = failure_cfg(10.0);
+  TttConfig el = cp;
+  el.cluster.failure.elastic = true;
+  el.cluster.failure.elastic_resync_seconds = 10.0;
+  el.cluster.failure.rejoin_seconds = 120.0;
+  auto a = time_to_train_under_failures(cp, 16);
+  auto b = time_to_train_under_failures(el, 16);
+  EXPECT_GT(a.expected_failures, 0.0);
+  EXPECT_GT(b.expected_failures, 0.0);
+  // Same failure process, but no rollback, no restart, no checkpoint
+  // writes: elastic recovery must be cheaper end to end.
+  EXPECT_LT(b.total_s, a.total_s);
+  EXPECT_EQ(b.restart_s, 0.0);
+  EXPECT_EQ(b.checkpoint_overhead_s, 0.0);
+  EXPECT_GT(b.elastic_resync_s, 0.0);
+  EXPECT_GT(b.degraded_s, 0.0);
+  EXPECT_GT(b.total_s, b.fault_free.total_s);
+}
+
+TEST(TttElastic, DeterministicInSeedAndTrials) {
+  TttConfig cfg = failure_cfg(10.0);
+  cfg.cluster.failure.elastic = true;
+  auto a = time_to_train_under_failures(cfg, 8);
+  auto b = time_to_train_under_failures(cfg, 8);
+  EXPECT_EQ(a.total_s, b.total_s);
+  EXPECT_EQ(a.expected_failures, b.expected_failures);
+  EXPECT_EQ(a.degraded_s, b.degraded_s);
+}
+
+TEST(TttElastic, PreemptionRateIsAnExtraFailureSource) {
+  // Preemptions alone (MTBF disabled) must still drive failures.
+  TttConfig cfg = failure_cfg();
+  cfg.cluster.failure.node_mtbf_hours = 0.0;
+  cfg.cluster.failure.preempt_rate_per_hour = 6.0;
+  cfg.cluster.failure.elastic = true;
+  auto r = time_to_train_under_failures(cfg, 16);
+  EXPECT_GT(r.expected_failures, 0.0);
+  EXPECT_GT(r.total_s, r.fault_free.total_s);
+  // Adding preemptions on top of MTBF failures means more events.
+  TttConfig both = failure_cfg(10.0);
+  both.cluster.failure.preempt_rate_per_hour = 6.0;
+  auto r_mtbf = time_to_train_under_failures(failure_cfg(10.0), 16);
+  auto r_both = time_to_train_under_failures(both, 16);
+  EXPECT_GT(r_both.expected_failures, r_mtbf.expected_failures);
+}
+
 TEST(GraphEffect, UselessAtDap1CrucialAtDap8) {
   // §4.1 verbatim: "CudaGraph is not beneficial for DAP-1" but essential
   // at DAP-8.
