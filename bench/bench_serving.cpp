@@ -1,0 +1,389 @@
+// Serving-layer load generator: SLO-gated latency/throughput benchmark.
+//
+// Drives serve::Service over the long-tailed sequence-length distribution
+// (Fig. 4 shape at mini scale) in four scenarios:
+//
+//   serial   — closed loop, ONE length bucket (the serving max) and
+//              max_batch = 1, cache off: every request pays the padded
+//              crop, one at a time. The baseline a naive server gives you.
+//   batched  — closed loop, length buckets + continuous batching, cache
+//              off: requests run at the smallest crop that fits them.
+//              Throughput must beat serial — on one core the win is pure
+//              padding-waste elimination (triangle work is superlinear in
+//              crop length), so this gate is deterministic, not a
+//              parallelism artifact.
+//   cache    — two closed-loop passes over the same samples with the
+//              feature cache on: the warm pass must hit 100% and spend
+//              less time in featurize.
+//   sweep    — open loop at {0.3, 0.6, 0.9, 3.0}x the measured batched
+//              capacity, fixed inter-arrival gaps. Reports p50/p99 total
+//              latency, delivered throughput, admission-reject rate and
+//              cache hit rate per load point. The 3.0x point runs with a
+//              tight admission queue (the overload story: shed load,
+//              keep admitted latency bounded).
+//
+// Output: BENCH_serving.json (override with --out <path>).
+//
+// --check gates:
+//   1. batched throughput  > 1.2x serial throughput
+//   2. warm-pass cache hit rate = 1 and warm featurize < 0.7x cold
+//   3. p99 latency at the pinned 0.6x-capacity load <= 750 ms
+//   4. the 3.0x overload point rejects some load AND keeps the p99 of
+//      admitted requests within the same SLO.
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "serve/service.h"
+
+using namespace sf;
+using namespace sf::serve;
+
+namespace {
+
+constexpr double kP99SloSeconds = 0.75;   ///< pinned SLO
+constexpr double kPinnedLoadFrac = 0.6;   ///< SLO is enforced at this load
+
+model::ModelConfig bench_model() {
+  model::ModelConfig c;
+  c.crop_len = 32;
+  c.msa_rows = 4;
+  c.c_m = 16;
+  c.c_z = 16;
+  c.c_s = 16;
+  c.heads = 2;
+  c.head_dim = 8;
+  c.evoformer_blocks = 2;
+  c.use_extra_msa_stack = false;
+  c.use_template_stack = false;
+  c.opm_dim = 4;
+  c.transition_factor = 2;
+  c.structure_layers = 1;
+  return c;
+}
+
+data::DatasetConfig bench_data(uint64_t seed) {
+  data::DatasetConfig c;
+  c.num_samples = 256;
+  c.crop_len = 32;
+  c.msa_rows = 4;
+  c.msa_work_cap = 2048;  // featurize cost ~ len * min(depth, cap)
+  c.len_log_mean = 2.7;   // median ~15 residues, long tail
+  c.len_log_sigma = 0.6;
+  c.min_seq_len = 6;
+  c.max_seq_len = 200;    // tail beyond the max bucket gets cropped
+  c.seed = seed;
+  return c;
+}
+
+ServeConfig serving_config(bool bucketed, bool cache_on) {
+  ServeConfig c;
+  if (bucketed) {
+    c.scheduler.bucket_lens = {12, 16, 24, 32};
+    c.scheduler.max_batch = 8;
+  } else {
+    c.scheduler.bucket_lens = {32};  // pad-to-max
+    c.scheduler.max_batch = 1;      // one-at-a-time
+  }
+  c.cache.enabled = cache_on;
+  c.feature_workers = 2;
+  c.model_workers = 1;
+  c.num_recycles = 1;
+  return c;
+}
+
+double quantile_exact(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t rank = static_cast<size_t>(
+      std::min<double>(v.size() - 1, std::ceil(q * v.size()) - 1));
+  return v[std::max<size_t>(rank, 0)];
+}
+
+struct LoopResult {
+  double wall_s = 0;
+  double throughput_rps = 0;
+  double mean_featurize_s = 0;
+  double mean_batch_size = 0;
+  double cache_hit_rate = 0;
+  double p50_s = 0, p99_s = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+};
+
+LoopResult summarize(const std::vector<Response>& responses, double wall_s) {
+  LoopResult r;
+  r.wall_s = wall_s;
+  std::vector<double> totals;
+  double featurize = 0;
+  int64_t hits = 0, featurized = 0, batch_sum = 0;
+  for (const auto& resp : responses) {
+    if (!resp.ok) {
+      ++r.rejected;
+      continue;
+    }
+    ++r.completed;
+    totals.push_back(resp.total_s);
+    batch_sum += resp.batch_size;
+    featurize += resp.featurize_s;
+    ++featurized;
+    if (resp.cache_hit) ++hits;
+  }
+  if (r.completed > 0) {
+    r.throughput_rps = r.completed / wall_s;
+    r.mean_featurize_s = featurize / featurized;
+    r.mean_batch_size = static_cast<double>(batch_sum) / r.completed;
+    r.cache_hit_rate = static_cast<double>(hits) / featurized;
+    r.p50_s = quantile_exact(totals, 0.50);
+    r.p99_s = quantile_exact(totals, 0.99);
+  }
+  return r;
+}
+
+/// Closed loop, one at a time: submit, wait, repeat.
+LoopResult run_serial(const data::DatasetConfig& dc, int n) {
+  Service svc(serving_config(/*bucketed=*/false, /*cache_on=*/false), dc,
+              bench_model());
+  std::vector<Response> all;
+  Timer t;
+  for (int i = 0; i < n; ++i) {
+    svc.submit(i);
+    auto r = svc.wait_all();
+    all.insert(all.end(), r.begin(), r.end());
+  }
+  return summarize(all, t.elapsed());
+}
+
+/// Closed loop, all at once: continuous batching forms the batches.
+LoopResult run_batched(const data::DatasetConfig& dc, int n) {
+  Service svc(serving_config(/*bucketed=*/true, /*cache_on=*/false), dc,
+              bench_model());
+  Timer t;
+  for (int i = 0; i < n; ++i) svc.submit(i);
+  auto all = svc.wait_all();
+  return summarize(all, t.elapsed());
+}
+
+struct CacheResult {
+  LoopResult cold, warm;
+};
+
+CacheResult run_cache(const data::DatasetConfig& dc, int n) {
+  Service svc(serving_config(/*bucketed=*/true, /*cache_on=*/true), dc,
+              bench_model());
+  CacheResult out;
+  {
+    // Evaluation order matters: wait_all() must complete before the
+    // timer is read, so sequence the two with statements.
+    Timer t;
+    for (int i = 0; i < n; ++i) svc.submit(i);
+    auto all = svc.wait_all();
+    out.cold = summarize(all, t.elapsed());
+  }
+  {
+    Timer t;
+    for (int i = 0; i < n; ++i) svc.submit(i);
+    auto all = svc.wait_all();
+    out.warm = summarize(all, t.elapsed());
+  }
+  return out;
+}
+
+/// Open loop: fixed inter-arrival gap at offered_rps; requests keep
+/// arriving whether or not the service keeps up.
+LoopResult run_open_loop(const data::DatasetConfig& dc, int n,
+                         double offered_rps, int64_t max_queue_depth) {
+  ServeConfig sc = serving_config(/*bucketed=*/true, /*cache_on=*/true);
+  sc.admission.max_queue_depth = max_queue_depth;
+  Service svc(sc, dc, bench_model());
+  const auto gap = std::chrono::duration<double>(1.0 / offered_rps);
+  Timer t;
+  auto next_arrival = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(next_arrival);
+    next_arrival += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(gap);
+    svc.submit(i % dc.num_samples);
+  }
+  auto all = svc.wait_all();
+  return summarize(all, t.elapsed());
+}
+
+struct SweepRow {
+  double frac = 0;
+  double offered_rps = 0;
+  int64_t max_queue_depth = 0;
+  LoopResult r;
+};
+
+void write_json(const std::string& path, uint64_t seed,
+                const LoopResult& serial, const LoopResult& batched,
+                const CacheResult& cache,
+                const std::vector<SweepRow>& sweep) {
+  std::ofstream f(path);
+  f << "{\n  \"seed\": " << seed << ",\n";
+  f << "  \"slo\": {\"p99_slo_s\": " << kP99SloSeconds
+    << ", \"pinned_load_frac\": " << kPinnedLoadFrac << "},\n";
+  auto loop = [&](const char* name, const LoopResult& r, bool comma) {
+    f << "  \"" << name << "\": {\"throughput_rps\": " << r.throughput_rps
+      << ", \"wall_s\": " << r.wall_s << ", \"completed\": " << r.completed
+      << ", \"rejected\": " << r.rejected
+      << ", \"mean_batch_size\": " << r.mean_batch_size
+      << ", \"mean_featurize_s\": " << r.mean_featurize_s
+      << ", \"cache_hit_rate\": " << r.cache_hit_rate
+      << ", \"p50_s\": " << r.p50_s << ", \"p99_s\": " << r.p99_s << "}"
+      << (comma ? "," : "") << "\n";
+  };
+  loop("serial", serial, true);
+  loop("batched", batched, true);
+  loop("cache_cold", cache.cold, true);
+  loop("cache_warm", cache.warm, true);
+  f << "  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& s = sweep[i];
+    const LoopResult& r = s.r;
+    const double submitted = static_cast<double>(r.completed + r.rejected);
+    f << "    {\"offered_frac\": " << s.frac
+      << ", \"offered_rps\": " << s.offered_rps
+      << ", \"max_queue_depth\": " << s.max_queue_depth
+      << ", \"throughput_rps\": " << r.throughput_rps
+      << ", \"p50_s\": " << r.p50_s << ", \"p99_s\": " << r.p99_s
+      << ", \"reject_rate\": "
+      << (submitted > 0 ? r.rejected / submitted : 0.0)
+      << ", \"cache_hit_rate\": " << r.cache_hit_rate << "}"
+      << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string out_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--check] [--out path]\n", argv[0]);
+      return 2;
+    }
+  }
+  uint64_t seed = 97;
+  if (const char* env = std::getenv("SF_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  const data::DatasetConfig dc = bench_data(seed);
+
+  const int kClosedN = 24;
+  std::printf("serving bench (SF_SEED=%" PRIu64 ")\n\n", seed);
+  LoopResult serial = run_serial(dc, kClosedN);
+  std::printf("serial   %6.1f req/s  p99 %6.1f ms  (pad-to-max, batch=1)\n",
+              serial.throughput_rps, serial.p99_s * 1e3);
+  LoopResult batched = run_batched(dc, kClosedN);
+  std::printf(
+      "batched  %6.1f req/s  p99 %6.1f ms  mean batch %.2f  (%.2fx serial)\n",
+      batched.throughput_rps, batched.p99_s * 1e3, batched.mean_batch_size,
+      batched.throughput_rps / serial.throughput_rps);
+  CacheResult cache = run_cache(dc, kClosedN);
+  std::printf(
+      "cache    cold featurize %6.0f us -> warm %6.0f us  (hit rate %.2f)\n",
+      cache.cold.mean_featurize_s * 1e6, cache.warm.mean_featurize_s * 1e6,
+      cache.warm.cache_hit_rate);
+
+  // Open-loop sweep against the measured batched capacity. The overload
+  // point (3x) runs with a tight admission queue: shedding is the
+  // mechanism that keeps admitted latency bounded.
+  const double capacity_rps = batched.throughput_rps;
+  std::vector<SweepRow> sweep;
+  for (double frac : {0.3, kPinnedLoadFrac, 0.9, 3.0}) {
+    SweepRow row;
+    row.frac = frac;
+    row.offered_rps = frac * capacity_rps;
+    row.max_queue_depth = frac > 1.0 ? 4 : 64;
+    row.r = run_open_loop(dc, kClosedN, row.offered_rps,
+                          row.max_queue_depth);
+    const double submitted =
+        static_cast<double>(row.r.completed + row.r.rejected);
+    std::printf(
+        "sweep %.1fx  offered %6.1f req/s  delivered %6.1f  p50 %6.1f ms  "
+        "p99 %6.1f ms  reject %4.1f%%\n",
+        frac, row.offered_rps, row.r.throughput_rps, row.r.p50_s * 1e3,
+        row.r.p99_s * 1e3,
+        submitted > 0 ? 100.0 * row.r.rejected / submitted : 0.0);
+    sweep.push_back(std::move(row));
+  }
+
+  write_json(out_path, seed, serial, batched, cache, sweep);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (check) {
+    int failures = 0;
+    if (!(batched.throughput_rps > 1.2 * serial.throughput_rps)) {
+      std::fprintf(stderr,
+                   "FAIL: batched throughput %.1f req/s does not beat "
+                   "one-at-a-time %.1f req/s by 1.2x\n",
+                   batched.throughput_rps, serial.throughput_rps);
+      ++failures;
+    }
+    if (cache.warm.cache_hit_rate < 1.0) {
+      std::fprintf(stderr, "FAIL: warm pass hit rate %.2f < 1.0\n",
+                   cache.warm.cache_hit_rate);
+      ++failures;
+    }
+    if (!(cache.warm.mean_featurize_s <
+          0.7 * cache.cold.mean_featurize_s)) {
+      std::fprintf(stderr,
+                   "FAIL: cache hits do not reduce featurize time "
+                   "(cold %.0f us, warm %.0f us)\n",
+                   cache.cold.mean_featurize_s * 1e6,
+                   cache.warm.mean_featurize_s * 1e6);
+      ++failures;
+    }
+    const SweepRow* pinned = nullptr;
+    const SweepRow* overload = nullptr;
+    for (const auto& s : sweep) {
+      if (s.frac == kPinnedLoadFrac) pinned = &s;
+      if (s.frac > 1.0) overload = &s;
+    }
+    SF_CHECK(pinned != nullptr && overload != nullptr);
+    if (!(pinned->r.p99_s <= kP99SloSeconds)) {
+      std::fprintf(stderr,
+                   "FAIL: p99 %.1f ms at %.1fx capacity breaches the "
+                   "%.0f ms SLO\n",
+                   pinned->r.p99_s * 1e3, kPinnedLoadFrac,
+                   kP99SloSeconds * 1e3);
+      ++failures;
+    }
+    if (overload->r.rejected == 0) {
+      std::fprintf(stderr,
+                   "FAIL: overload at %.1fx capacity rejected nothing — "
+                   "admission control is not shedding\n",
+                   overload->frac);
+      ++failures;
+    }
+    if (!(overload->r.p99_s <= kP99SloSeconds)) {
+      std::fprintf(stderr,
+                   "FAIL: overload p99 of admitted requests %.1f ms "
+                   "breaches the %.0f ms SLO despite shedding\n",
+                   overload->r.p99_s * 1e3, kP99SloSeconds * 1e3);
+      ++failures;
+    }
+    if (failures > 0) return 1;
+    std::printf("check passed\n");
+  }
+  return 0;
+}

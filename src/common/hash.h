@@ -1,0 +1,34 @@
+// Stable, dependency-free content hashing (FNV-1a 64-bit).
+//
+// Used where a value must be addressed by its bytes across threads and
+// process runs — e.g. the serving layer's featurization cache keys protein
+// sequences by hash. Not cryptographic; collisions are tolerated by the
+// consumers (a cache collision only re-serves another request's features,
+// which the tests rule out for the synthetic population sizes used).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sf {
+
+inline constexpr uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnv64Prime = 0x100000001b3ULL;
+
+/// Fold `len` bytes into a running FNV-1a state (chainable).
+inline uint64_t fnv1a64(const void* data, size_t len,
+                        uint64_t state = kFnv64OffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    state ^= p[i];
+    state *= kFnv64Prime;
+  }
+  return state;
+}
+
+/// Hash one integer value into a running state (chainable).
+inline uint64_t fnv1a64_u64(uint64_t v, uint64_t state = kFnv64OffsetBasis) {
+  return fnv1a64(&v, sizeof(v), state);
+}
+
+}  // namespace sf

@@ -55,6 +55,12 @@ TrainingSession::TrainingSession(ScaleFoldOptions options)
 
 TrainingSession::~TrainingSession() = default;
 
+std::unique_ptr<serve::Service> TrainingSession::make_server(
+    serve::ServeConfig config) {
+  return std::make_unique<serve::Service>(std::move(config), options_.dataset,
+                                          options_.model, &net_->params());
+}
+
 std::vector<StepRecord> TrainingSession::run(int64_t steps) {
   SF_CHECK(steps > 0);
   // Fresh loader over the next `steps` dataset indices (training indices

@@ -15,6 +15,7 @@
 
 #include "data/loader.h"
 #include "model/alphafold.h"
+#include "serve/service.h"
 #include "sim/cluster.h"
 #include "train/evaluator.h"
 #include "train/trainer.h"
@@ -79,6 +80,11 @@ class TrainingSession {
 
   /// Completed async evaluation reports so far (empty in sync mode).
   std::vector<train::AsyncEvaluator::Report> drain_eval_reports();
+
+  /// Build an inference service over this session's dataset config and
+  /// current weights (copied into the service's per-bucket replicas, so
+  /// training may continue afterwards without affecting served results).
+  std::unique_ptr<serve::Service> make_server(serve::ServeConfig config);
 
   model::MiniAlphaFold& net() { return *net_; }
   train::Trainer& trainer() { return *trainer_; }

@@ -129,6 +129,12 @@ std::vector<float> SyntheticProteinDataset::fold_backbone(
 }
 
 Batch SyntheticProteinDataset::prepare_batch(int64_t index) const {
+  return prepare_batch(index, config_.crop_len);
+}
+
+Batch SyntheticProteinDataset::prepare_batch(int64_t index,
+                                             int64_t crop_len) const {
+  SF_CHECK(crop_len > 0) << "crop_len" << crop_len;
   Timer timer;
   const SampleMeta& m = meta(index);
   Rng rng(config_.seed ^ (0xc2b2ae3d27d4eb4fULL * (index + 1)));
@@ -172,7 +178,7 @@ Batch SyntheticProteinDataset::prepare_batch(int64_t index) const {
   for (auto& v : gaps) v *= inv_rows;
 
   // --- Crop ---
-  const int64_t crop = config_.crop_len;
+  const int64_t crop = crop_len;
   int64_t start = 0;
   if (L > crop) start = static_cast<int64_t>(rng.uniform_int(L - crop + 1));
   const int64_t valid = std::min(crop, L);

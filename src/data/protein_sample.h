@@ -101,6 +101,13 @@ class SyntheticProteinDataset {
   /// distribution reproduces Fig. 4.
   Batch prepare_batch(int64_t index) const;
 
+  /// Same preparation cropped to `crop_len` instead of the configured
+  /// length (the serving layer featurizes into the request's length
+  /// bucket). The MSA/profile work — the dominant cost — is identical for
+  /// every crop length; only the crop window and tensor shapes differ.
+  /// Deterministic per (index, crop_len).
+  Batch prepare_batch(int64_t index, int64_t crop_len) const;
+
   /// Ground-truth fold for a full sequence (exposed for tests/metrics).
   static std::vector<float> fold_backbone(const std::vector<int8_t>& seq);
 

@@ -78,6 +78,16 @@ struct ModelConfig {
   int64_t distogram_bins = 16;
   float distogram_bin_width = 3.0f;  ///< Angstrom per bin
 
+  /// Copy with a different residue crop. Parameter shapes depend only on
+  /// channel widths, never on crop_len, so models built from with_crop()
+  /// variants of one config can share weights via copy_from — the serving
+  /// layer's per-length-bucket replicas rely on this.
+  ModelConfig with_crop(int64_t new_crop_len) const {
+    ModelConfig c = *this;
+    c.crop_len = new_crop_len;
+    return c;
+  }
+
   /// Paper-scale configuration used by the simulator workload census.
   static ModelConfig paper_scale() {
     ModelConfig c;

@@ -50,6 +50,30 @@ double Histogram::bucket_upper(int index) const {
   return std::exp(log_min_ + index / inv_log_step_);
 }
 
+double Histogram::quantile(double q) const {
+  SF_CHECK(q >= 0.0 && q <= 1.0) << "quantile" << q;
+  const int64_t total = count();
+  if (total == 0) return 0.0;
+  // Rank of the target observation (1-based, ceil), then walk buckets.
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * total)));
+  int64_t seen = 0;
+  for (int i = 0; i <= n_ + 1; ++i) {
+    const int64_t c = bucket_count(i);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      if (i == 0) return min_;   // underflow bucket: bounded above by min_
+      if (i == n_ + 1) return max_;  // overflow: bounded below by max_
+      const double lo = bucket_lower(i), hi = bucket_upper(i);
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(c);
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return max_;  // unreachable unless counts raced; max_ is the safe answer
+}
+
 void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

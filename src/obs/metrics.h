@@ -74,6 +74,14 @@ class Histogram {
     return c == 0 ? 0.0 : sum() / static_cast<double>(c);
   }
 
+  /// Approximate quantile (q in [0, 1]) from the bucket counts: walks the
+  /// cumulative histogram and interpolates linearly inside the target
+  /// bucket. Underflow resolves to min_value, overflow to max_value (the
+  /// buckets are unbounded, so those are the honest bounds). Returns 0
+  /// with no observations. Accurate to one log-bucket width — enough for
+  /// the serving layer's p50/p99 telemetry, not for exact assertions.
+  double quantile(double q) const;
+
   double min_value() const { return min_; }
   double max_value() const { return max_; }
 

@@ -1,0 +1,80 @@
+#include "serve/admission.h"
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace sf::serve {
+
+namespace {
+obs::Counter& admit_counter() {
+  static auto& c = obs::Registry::global().counter("serve.admitted");
+  return c;
+}
+obs::Counter& reject_counter(RejectReason r) {
+  static auto& queue_full =
+      obs::Registry::global().counter("serve.rejected.queue_full");
+  static auto& work_budget =
+      obs::Registry::global().counter("serve.rejected.work_budget");
+  static auto& shutdown =
+      obs::Registry::global().counter("serve.rejected.shutdown");
+  switch (r) {
+    case RejectReason::kQueueFull: return queue_full;
+    case RejectReason::kWorkBudget: return work_budget;
+    default: return shutdown;
+  }
+}
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {}
+
+RejectReason AdmissionController::try_admit(double est_work) {
+  SF_CHECK(est_work >= 0.0) << "negative work estimate";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.max_queue_depth > 0 && depth_ >= config_.max_queue_depth) {
+    ++rejected_;
+    reject_counter(RejectReason::kQueueFull).add();
+    return RejectReason::kQueueFull;
+  }
+  if (config_.max_outstanding_work > 0.0 &&
+      work_ + est_work > config_.max_outstanding_work) {
+    ++rejected_;
+    reject_counter(RejectReason::kWorkBudget).add();
+    return RejectReason::kWorkBudget;
+  }
+  ++depth_;
+  work_ += est_work;
+  ++admitted_;
+  admit_counter().add();
+  return RejectReason::kNone;
+}
+
+void AdmissionController::on_complete(double est_work) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SF_CHECK(depth_ > 0) << "on_complete without matching try_admit";
+  --depth_;
+  work_ -= est_work;
+  if (work_ < 0.0) work_ = 0.0;  // float drift guard
+}
+
+int64_t AdmissionController::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+double AdmissionController::outstanding_work() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return work_;
+}
+
+int64_t AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+int64_t AdmissionController::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+}  // namespace sf::serve

@@ -1,0 +1,57 @@
+// Admission control: bounded queue depth + estimated-work budget.
+//
+// A serving system without admission control converts overload into
+// unbounded latency; with it, overload becomes fast, explicit rejections
+// while admitted requests keep meeting their SLO. Two budgets, both
+// charged at submit and released at response:
+//   - depth: outstanding (admitted, unanswered) request count;
+//   - work:  sum of estimate_work(bucket_len) over outstanding requests —
+//     a length-aware budget, so one 2000-residue request costs what it
+//     actually costs, not one queue slot.
+// Rejections carry a reason (queue_full vs work_budget) and are counted
+// per-reason in sf_obs.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "serve/request.h"
+
+namespace sf::serve {
+
+struct AdmissionConfig {
+  /// Max outstanding admitted requests; <= 0 disables the depth budget.
+  int64_t max_queue_depth = 64;
+  /// Max outstanding estimated work (estimate_work units); <= 0 disables.
+  double max_outstanding_work = 0.0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Charge one request of estimated cost `est_work` against the budgets.
+  /// Returns kNone and charges on admission; returns the violated budget
+  /// (depth checked first) and charges nothing on rejection.
+  RejectReason try_admit(double est_work);
+
+  /// Release a previously admitted request's charge.
+  void on_complete(double est_work);
+
+  int64_t depth() const;
+  double outstanding_work() const;
+  const AdmissionConfig& config() const { return config_; }
+
+  int64_t admitted() const;
+  int64_t rejected() const;
+
+ private:
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  int64_t depth_ = 0;
+  double work_ = 0.0;
+  int64_t admitted_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace sf::serve

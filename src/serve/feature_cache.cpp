@@ -1,0 +1,103 @@
+#include "serve/feature_cache.h"
+
+#include "common/hash.h"
+#include "obs/metrics.h"
+
+namespace sf::serve {
+
+namespace {
+struct CacheMetrics {
+  obs::Counter& hits = obs::Registry::global().counter("serve.cache.hit");
+  obs::Counter& misses = obs::Registry::global().counter("serve.cache.miss");
+  obs::Counter& evictions =
+      obs::Registry::global().counter("serve.cache.evictions");
+  obs::Gauge& bytes = obs::Registry::global().gauge("serve.cache.bytes");
+};
+CacheMetrics& metrics() {
+  static CacheMetrics m;
+  return m;
+}
+}  // namespace
+
+FeatureCache::FeatureCache(FeatureCacheConfig config) : config_(config) {}
+
+uint64_t FeatureCache::key(const std::vector<int8_t>& sequence,
+                           int64_t bucket_len) {
+  uint64_t h = fnv1a64(sequence.data(), sequence.size());
+  return fnv1a64_u64(static_cast<uint64_t>(bucket_len), h);
+}
+
+int64_t FeatureCache::batch_bytes(const data::Batch& batch) {
+  const auto bytes = [](const Tensor& t) {
+    return t.numel() * static_cast<int64_t>(sizeof(float));
+  };
+  return bytes(batch.seq_onehot) + bytes(batch.msa_feat) +
+         bytes(batch.template_feat) + bytes(batch.target_pos) +
+         bytes(batch.residue_mask);
+}
+
+std::optional<data::Batch> FeatureCache::get(uint64_t key) {
+  if (!config_.enabled) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    metrics().misses.add();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  ++hits_;
+  metrics().hits.add();
+  return it->second->batch;  // tensors share buffers: cheap copy
+}
+
+void FeatureCache::put(uint64_t key, const data::Batch& batch) {
+  if (!config_.enabled) return;
+  const int64_t cost = batch_bytes(batch);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(key)) return;  // racing featurizers: first insert wins
+  if (cost > config_.max_bytes) return;  // larger than the whole budget
+  lru_.push_front(Entry{key, batch, cost});
+  index_[key] = lru_.begin();
+  bytes_ += cost;
+  evict_to_budget_locked();
+  metrics().bytes.set(static_cast<double>(bytes_));
+}
+
+void FeatureCache::evict_to_budget_locked() {
+  while (bytes_ > config_.max_bytes && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    metrics().evictions.add();
+  }
+}
+
+int64_t FeatureCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t FeatureCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+int64_t FeatureCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t FeatureCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t FeatureCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace sf::serve

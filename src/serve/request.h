@@ -1,0 +1,77 @@
+// Request/response types of the structure-prediction serving layer.
+//
+// A request references one sequence of the synthetic population by sample
+// index (the stand-in for a user-submitted sequence; the featurizer
+// re-derives the actual sequence deterministically). A response carries
+// the predicted C-alpha positions plus the full per-request latency
+// breakdown the span tracer also records: queue -> featurize ->
+// batch-wait -> forward -> respond.
+#pragma once
+
+#include <cstdint>
+
+#include "data/protein_sample.h"
+#include "tensor/tensor.h"
+
+namespace sf::serve {
+
+/// Why admission control turned a request away. kNone = admitted.
+enum class RejectReason : uint8_t {
+  kNone = 0,
+  kQueueFull,    ///< outstanding request count at max_queue_depth
+  kWorkBudget,   ///< estimated outstanding work above max_outstanding_work
+  kShutdown,     ///< service is stopping
+};
+
+inline const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kWorkBudget: return "work_budget";
+    case RejectReason::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+/// Estimated model-stage work for a request served at `bucket_len`, in
+/// abstract units. The Evoformer's triangle updates are O(R^3) in crop
+/// length, which dominates the mini model too, so the estimate is R^3 —
+/// admission budgets and the scheduler's telemetry share this scale.
+inline double estimate_work(int64_t bucket_len) {
+  const double r = static_cast<double>(bucket_len);
+  return r * r * r;
+}
+
+/// An admitted request flowing through the service.
+struct Request {
+  int64_t id = -1;
+  int64_t sample_index = -1;
+  int64_t seq_len = 0;       ///< full sequence length (dataset metadata)
+  int64_t bucket_len = 0;    ///< assigned length bucket (model crop)
+  double est_work = 0.0;     ///< estimate_work(bucket_len)
+  int64_t arrival_seq = -1;  ///< admission order; the scheduler's FIFO key
+  double t_submit_us = 0.0;  ///< trace-clock submit time
+};
+
+struct Response {
+  int64_t id = -1;
+  int64_t sample_index = -1;
+  bool ok = false;
+  RejectReason reject = RejectReason::kNone;
+
+  int64_t bucket_len = 0;
+  int64_t batch_size = 0;  ///< size of the dispatched batch it rode in
+  bool cache_hit = false;  ///< features came from the cache
+
+  Tensor positions;        ///< [bucket_len, 3] predicted C-alpha coords
+  float lddt = 0.0f;       ///< lDDT-Ca vs the synthetic target (confidence)
+
+  // Latency breakdown (seconds). total_s = submit -> response ready.
+  double queue_s = 0.0;      ///< submit -> featurize start
+  double featurize_s = 0.0;  ///< cache lookup + (on miss) preparation
+  double batch_wait_s = 0.0; ///< featurized -> batch dispatch
+  double forward_s = 0.0;    ///< model forward for this element
+  double total_s = 0.0;
+};
+
+}  // namespace sf::serve

@@ -1,0 +1,141 @@
+// Structure-prediction inference service (the ParaFold split, in-process).
+//
+// ParaFold's observation: AlphaFold serving is two very different stages —
+// cheap-ish, highly parallel CPU feature work, and an expensive model
+// stage that must be kept saturated. This service wires that split around
+// the mini-AlphaFold:
+//
+//   submit(sample) --admission--> feature pool --> bucket scheduler
+//                                     |                 |
+//                                  (cache)          model pool
+//                                                       |
+//                                              drain()/wait_all()
+//
+//   - Admission control (AdmissionController) bounds outstanding requests
+//     by count and by estimated work; overload is rejected with a reason,
+//     never queued into unbounded latency.
+//   - Featurization runs on a ThreadPool of feature workers, consulting
+//     the FeatureCache (sequence-hash keyed, LRU + byte eviction) so
+//     repeated sequences skip the MSA profile pass entirely.
+//   - The BucketScheduler groups compatible crop lengths; model workers
+//     (a second ThreadPool) loop next_batch() until the queue is dry —
+//     continuous batching, no dispatch timer.
+//   - Each model worker owns one MiniAlphaFold replica per length bucket
+//     (weights shared from one source via copy_from; parameter shapes are
+//     crop-independent), so forwards never contend on a model.
+//
+// Every request leaves a span trail (category "serve": enqueue ->
+// featurize -> batch -> forward -> respond, arg = request id) and feeds
+// the serve.* metrics in sf_obs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/protein_sample.h"
+#include "model/alphafold.h"
+#include "serve/admission.h"
+#include "serve/feature_cache.h"
+#include "serve/request.h"
+#include "serve/scheduler.h"
+
+namespace sf::serve {
+
+struct ServeConfig {
+  SchedulerConfig scheduler;
+  AdmissionConfig admission;
+  FeatureCacheConfig cache;
+  int feature_workers = 2;
+  int model_workers = 1;
+  int64_t num_recycles = 1;
+  /// Weight init seed for replicas when no source weights are given.
+  uint64_t model_seed = 7;
+};
+
+class Service {
+ public:
+  /// `base_model` supplies channel widths; each bucket replica is built
+  /// from base_model.with_crop(bucket). `source_weights` (optional, e.g.
+  /// a trained session's ParamStore) is copied into every replica; shapes
+  /// must match, which holds for any crop of the same base config.
+  Service(ServeConfig config, data::DatasetConfig dataset_config,
+          model::ModelConfig base_model,
+          const model::ParamStore* source_weights = nullptr);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Non-blocking. Returns the request id. A rejected request still gets
+  /// an id; its Response (ok = false, reject = reason) is immediately
+  /// available to drain(). An internal featurize/forward error also
+  /// surfaces as ok = false (reject = kNone).
+  int64_t submit(int64_t sample_index);
+
+  /// All finished responses so far (completed and rejected), in
+  /// completion order. Non-blocking.
+  std::vector<Response> drain();
+
+  /// Block until every admitted request has a response, then drain().
+  std::vector<Response> wait_all();
+
+  /// Admitted requests without a response yet.
+  int64_t outstanding() const;
+
+  const AdmissionController& admission() const { return admission_; }
+  const FeatureCache& cache() const { return cache_; }
+  const ServeConfig& config() const { return config_; }
+
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t admitted = 0;
+    int64_t rejected = 0;
+    int64_t completed = 0;
+    int64_t batches_dispatched = 0;
+    int64_t requests_dispatched = 0;
+    double mean_batch_size = 0.0;
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void featurize_task(Request req);
+  void model_drain_task();
+  void fail_request(const Request& req);
+  void finish(Response resp, double est_work, bool admitted);
+
+  const ServeConfig config_;
+  data::SyntheticProteinDataset dataset_;
+  AdmissionController admission_;
+  FeatureCache cache_;
+
+  /// replicas_[worker][bucket_len]; a model task leases one worker's set.
+  std::vector<std::map<int64_t, std::unique_ptr<model::MiniAlphaFold>>>
+      replicas_;
+
+  mutable std::mutex mu_;  ///< scheduler + replica lease + arrival seq
+  BucketScheduler scheduler_;
+  std::vector<size_t> free_replica_sets_;
+  int64_t next_id_ = 0;
+  int64_t next_arrival_ = 0;
+  int64_t submitted_ = 0;
+  bool stopping_ = false;
+
+  mutable std::mutex done_mu_;  ///< responses + outstanding count
+  std::condition_variable cv_done_;
+  std::vector<Response> done_;
+  int64_t outstanding_ = 0;
+  int64_t completed_ = 0;
+
+  // Pools last: their destructors join while the rest is still alive.
+  std::unique_ptr<ThreadPool> feature_pool_;
+  std::unique_ptr<ThreadPool> model_pool_;
+};
+
+}  // namespace sf::serve

@@ -99,6 +99,27 @@ TEST(Metrics, HistogramBucketingLogSpaced) {
   EXPECT_NEAR(h.bucket_upper(3), 1000.0, 1e-3);
 }
 
+TEST(Metrics, HistogramQuantileInterpolatesWithinBucket) {
+  obs::Histogram h(1.0, 1000.0, 3);  // buckets [1,10) [10,100) [100,1000)
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  for (int i = 0; i < 10; ++i) h.observe(5.0);    // bucket [1,10)
+  for (int i = 0; i < 10; ++i) h.observe(50.0);   // bucket [10,100)
+  // Rank 10 of 20 is the last observation of the first bucket: the
+  // estimate is its upper edge.
+  EXPECT_NEAR(h.quantile(0.5), 10.0, 1e-6);
+  // Rank 19 of 20 sits 9/10 into the second bucket.
+  EXPECT_NEAR(h.quantile(0.95), 10.0 + 0.9 * 90.0, 1e-6);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1e-6);
+  // q=0 clamps to rank 1 (the smallest observation's bucket).
+  EXPECT_NEAR(h.quantile(0.0), 1.0 + 0.1 * 9.0, 1e-6);
+  // Out-of-range observations resolve to the histogram bounds.
+  h.observe(0.1);
+  EXPECT_NEAR(h.quantile(0.0), 1.0, 1e-9);  // underflow reports min
+  obs::Histogram tail(1.0, 1000.0, 3);
+  tail.observe(5000.0);
+  EXPECT_NEAR(tail.quantile(0.99), 1000.0, 1e-9);  // overflow reports max
+}
+
 TEST(Metrics, SamplesAndTextExportCoverInstruments) {
   obs::Registry::global().counter("test.export_counter").add(3);
   obs::Registry::global().gauge("test.export_gauge").set(2.5);
@@ -192,7 +213,11 @@ TEST(Trace, SnapshotWhileEmittingIsSafe) {
   TraceGuard guard;
   std::atomic<bool> stop{false};
   std::thread emitter([&] {
-    while (!stop.load()) {
+    // Bounded: an unbounded spin on a single-core host can outrun the
+    // 50 O(n) snapshot copies below, growing the buffer to gigabytes
+    // before the main thread is scheduled again. 200k spans still
+    // interleave appends with every snapshot.
+    for (int i = 0; i < 200000 && !stop.load(); ++i) {
       SF_TRACE_SPAN("test", "concurrent");
     }
   });
