@@ -10,6 +10,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "kernels/attention.h"
 #include "obs/trace.h"
 #include "kernels/bf16_kernels.h"
@@ -445,6 +446,84 @@ void BM_FusedAdamThreads(benchmark::State& state) {
   sf::set_num_threads(0);
 }
 BENCHMARK(BM_FusedAdamThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- SIMD tier sweep (SF_SIMD analogue) ---------------------------------
+// Last range argument selects the sf::simd::Tier; tiers the host cannot
+// run are skipped. bench_parallel_scaling is the JSON-emitting CI gate for
+// the tier x thread matrix, these give the per-kernel scalar-vs-SIMD
+// ratios inside the google-benchmark harness.
+
+bool pin_tier_or_skip(benchmark::State& state, int64_t raw) {
+  const auto tier = static_cast<sf::simd::Tier>(raw);
+  if (!sf::simd::set_tier(tier)) {
+    state.SkipWithError("SIMD tier unavailable on this host");
+    return false;
+  }
+  state.SetLabel(sf::simd::tier_name(tier));
+  return true;
+}
+
+void BM_GemmSimdTier(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  if (!pin_tier_or_skip(state, state.range(1))) return;
+  auto a = randoms(dim * dim, 1);
+  auto b = randoms(dim * dim, 2);
+  std::vector<float> c(dim * dim);
+  for (auto _ : state) {
+    gemm(a.data(), b.data(), c.data(), dim, dim, dim);
+    benchmark::DoNotOptimize(c.data());
+  }
+  sf::simd::clear_tier();
+  state.SetItemsProcessed(state.iterations() * dim * dim * dim * 2);
+}
+BENCHMARK(BM_GemmSimdTier)
+    ->Args({256, 0})->Args({256, 1})->Args({256, 2})->Args({256, 3});
+
+void BM_LayerNormFusedSimdTier(benchmark::State& state) {
+  const int64_t rows = 8192, cols = 256;
+  if (!pin_tier_or_skip(state, state.range(0))) return;
+  auto x = randoms(rows * cols, 1);
+  auto gamma = randoms(cols, 2);
+  auto beta = randoms(cols, 3);
+  std::vector<float> y(rows * cols);
+  for (auto _ : state) {
+    layernorm_forward_fused(x.data(), gamma.data(), beta.data(), y.data(),
+                            rows, cols, 1e-5f, nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  sf::simd::clear_tier();
+  state.SetBytesProcessed(state.iterations() * rows * cols * 8);
+}
+BENCHMARK(BM_LayerNormFusedSimdTier)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_FusedAdamSimdTier(benchmark::State& state) {
+  OptState st(64, 16384);
+  if (!pin_tier_or_skip(state, state.range(0))) return;
+  AdamHyper h;
+  int64_t step = 0;
+  for (auto _ : state) {
+    ++step;
+    fused_adam_swa_step(st.chunks, h, step, 0.999f);
+    benchmark::DoNotOptimize(st.chunks.data());
+  }
+  sf::simd::clear_tier();
+}
+BENCHMARK(BM_FusedAdamSimdTier)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_StreamBf16SimdTier(benchmark::State& state) {
+  const int64_t n = 8 * 1000 * 1000;
+  if (!pin_tier_or_skip(state, state.range(0))) return;
+  auto xf = randoms(n, 1);
+  std::vector<BFloat16> x(n), y(n);
+  to_bf16(xf.data(), x.data(), n);
+  for (auto _ : state) {
+    axpb_bf16(x.data(), y.data(), n, 1.0001f, 0.5f);
+    benchmark::DoNotOptimize(y.data());
+  }
+  sf::simd::clear_tier();
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_StreamBf16SimdTier)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_LayerNormBf16Large(benchmark::State& state) {
   const int64_t rows = 32768, cols = 256;  // 16 MB activations

@@ -1,18 +1,20 @@
 // Intra-op parallel scaling sweep: runs the parallelized hot kernels
 // (GEMM incl. transposed paths, flash MHA forward+backward, fused
 // LayerNorm forward+backward, fused Adam+SWA, bucketed grad norm) at
-// SF_NUM_THREADS in {1, 2, 4, 8} and reports ns/iter, speedup vs one
-// thread, and — the determinism contract — whether the outputs are
-// bitwise identical to the 1-thread reference.
+// SF_NUM_THREADS in {1, 2, 4, 8} under both the forced-scalar SIMD tier
+// and the best native tier, and reports ns/iter, speedup vs one thread,
+// and — the determinism contract — whether the outputs are bitwise
+// identical to the forced-scalar 1-thread reference.
 //
 // Output: BENCH_kernels.json (override with --out <path>), an array of
-//   {"kernel":..., "shape":..., "threads":N, "ns_per_iter":...,
-//    "speedup_vs_1t":..., "bitwise_match":true}
+//   {"kernel":..., "shape":..., "simd":"scalar|sse|avx2|neon",
+//    "threads":N, "ns_per_iter":..., "speedup_vs_1t":...,
+//    "bitwise_match":true}
 //
 // --check: exit non-zero if any bitwise mismatch is found (always), or if
-// the aggregate GEMM speedup at 4 threads is below 1.5x — the latter only
-// enforced when the host actually has >= 4 hardware threads; on smaller
-// CI runners the speedup column is informational.
+// the aggregate GEMM speedup at 4 threads (native tier) is below 2.5x —
+// the latter only enforced when the host actually has >= 4 hardware
+// threads; on smaller CI runners the speedup column is informational.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +27,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/timer.h"
 #include "kernels/attention.h"
 #include "kernels/gemm.h"
@@ -48,6 +51,7 @@ std::vector<float> randoms(size_t n, uint64_t seed) {
 struct Row {
   std::string kernel;
   std::string shape;
+  std::string simd;
   int threads = 1;
   double ns_per_iter = 0.0;
   double speedup_vs_1t = 1.0;
@@ -77,27 +81,42 @@ double time_ns_per_iter(const std::function<std::vector<float>()>& run) {
 
 std::vector<Row> sweep(const Case& c) {
   std::vector<Row> rows;
+  // Reference: forced-scalar tier at one thread. Every (tier, threads)
+  // combination must reproduce it bit for bit — this is the memcmp gate
+  // on both the thread-count and the scalar-vs-SIMD axes at once.
+  simd::set_tier(simd::Tier::kScalar);
   set_num_threads(1);
   std::vector<float> ref = c.run();
-  double ns_1t = 0.0;
-  for (int t : kThreadSweep) {
-    set_num_threads(t);
-    Row r;
-    r.kernel = c.kernel;
-    r.shape = c.shape;
-    r.threads = t;
-    std::vector<float> out = c.run();
-    r.bitwise_match =
-        out.size() == ref.size() &&
-        std::memcmp(out.data(), ref.data(), out.size() * sizeof(float)) == 0;
-    r.ns_per_iter = time_ns_per_iter(c.run);
-    if (t == 1) ns_1t = r.ns_per_iter;
-    r.speedup_vs_1t = r.ns_per_iter > 0 ? ns_1t / r.ns_per_iter : 1.0;
-    rows.push_back(r);
-    std::printf("%-22s %-24s %2d thr  %12.0f ns/iter  %5.2fx  %s\n",
-                r.kernel.c_str(), r.shape.c_str(), t, r.ns_per_iter,
-                r.speedup_vs_1t, r.bitwise_match ? "bitwise-ok" : "MISMATCH");
+
+  std::vector<simd::Tier> tiers{simd::Tier::kScalar};
+  if (simd::best_available() != simd::Tier::kScalar) {
+    tiers.push_back(simd::best_available());
   }
+  for (simd::Tier tier : tiers) {
+    simd::set_tier(tier);
+    double ns_1t = 0.0;
+    for (int t : kThreadSweep) {
+      set_num_threads(t);
+      Row r;
+      r.kernel = c.kernel;
+      r.shape = c.shape;
+      r.simd = simd::tier_name(tier);
+      r.threads = t;
+      std::vector<float> out = c.run();
+      r.bitwise_match =
+          out.size() == ref.size() &&
+          std::memcmp(out.data(), ref.data(), out.size() * sizeof(float)) == 0;
+      r.ns_per_iter = time_ns_per_iter(c.run);
+      if (t == 1) ns_1t = r.ns_per_iter;
+      r.speedup_vs_1t = r.ns_per_iter > 0 ? ns_1t / r.ns_per_iter : 1.0;
+      rows.push_back(r);
+      std::printf("%-22s %-24s %-6s %2d thr  %12.0f ns/iter  %5.2fx  %s\n",
+                  r.kernel.c_str(), r.shape.c_str(), r.simd.c_str(), t,
+                  r.ns_per_iter, r.speedup_vs_1t,
+                  r.bitwise_match ? "bitwise-ok" : "MISMATCH");
+    }
+  }
+  simd::clear_tier();
   set_num_threads(0);
   return rows;
 }
@@ -249,7 +268,7 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     f << "  {\"kernel\": \"" << r.kernel << "\", \"shape\": \"" << r.shape
-      << "\", \"threads\": " << r.threads
+      << "\", \"simd\": \"" << r.simd << "\", \"threads\": " << r.threads
       << ", \"ns_per_iter\": " << static_cast<long long>(r.ns_per_iter)
       << ", \"speedup_vs_1t\": " << r.speedup_vs_1t
       << ", \"bitwise_match\": " << (r.bitwise_match ? "true" : "false")
@@ -288,36 +307,44 @@ int main(int argc, char** argv) {
   write_json(rows, out_path);
   std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
 
+  // The speedup gate reads the best native tier: cache-aware packing plus
+  // SIMD inner loops are what buy the headroom to demand 2.5x at 4
+  // threads (the forced-scalar rows are informational).
+  const std::string native = simd::tier_name(simd::best_available());
   int mismatches = 0;
   double gemm_speedup_sum = 0.0;
   int gemm_speedup_n = 0;
   for (const Row& r : rows) {
     if (!r.bitwise_match) ++mismatches;
-    if (r.threads == 4 && r.kernel.rfind("gemm", 0) == 0) {
+    if (r.threads == 4 && r.simd == native &&
+        r.kernel.rfind("gemm", 0) == 0) {
       gemm_speedup_sum += r.speedup_vs_1t;
       ++gemm_speedup_n;
     }
   }
   double gemm_speedup =
       gemm_speedup_n ? gemm_speedup_sum / gemm_speedup_n : 0.0;
-  std::printf("aggregate GEMM speedup at 4 threads: %.2fx\n", gemm_speedup);
+  std::printf("aggregate GEMM speedup at 4 threads (%s tier): %.2fx\n",
+              native.c_str(), gemm_speedup);
 
   if (check) {
     if (mismatches > 0) {
-      std::fprintf(stderr, "FAIL: %d bitwise mismatches across thread counts\n",
+      std::fprintf(stderr,
+                   "FAIL: %d bitwise mismatches across SIMD tiers / thread "
+                   "counts\n",
                    mismatches);
       return 1;
     }
-    if (hw >= 4 && gemm_speedup < 1.5) {
+    if (hw >= 4 && gemm_speedup < 2.5) {
       std::fprintf(stderr,
-                   "FAIL: aggregate GEMM speedup %.2fx < 1.5x at 4 threads "
+                   "FAIL: aggregate GEMM speedup %.2fx < 2.5x at 4 threads "
                    "(%u hardware threads available)\n",
                    gemm_speedup, hw);
       return 1;
     }
     if (hw < 4) {
       std::printf(
-          "note: host has %u hardware thread(s); the 1.5x speedup gate is "
+          "note: host has %u hardware thread(s); the 2.5x speedup gate is "
           "skipped (determinism still enforced)\n",
           hw);
     }

@@ -3,9 +3,10 @@
 #
 # Gates, in order:
 #   1. plain RelWithDebInfo build (fatal: nothing below runs without it);
-#   2. tier-1 ctest twice — intra-op parallelism pinned to 1 thread and at
-#      SF_NUM_THREADS=4 — because every parallelized kernel guarantees
-#      bitwise-identical outputs across thread counts;
+#   2. tier-1 ctest three times — intra-op parallelism pinned to 1 thread,
+#      at SF_NUM_THREADS=4, and once under the forced-scalar SIMD tier
+#      (SF_SIMD=scalar) — because every parallelized kernel guarantees
+#      bitwise-identical outputs across thread counts AND SIMD tiers;
 #   3. bench --check gates: kernel scaling + bitwise determinism,
 #      overlapped all-reduce identity, elastic world under pinned chaos
 #      weather, and the serving layer's SLO gates (batched > serial
@@ -88,9 +89,12 @@ gate "tier-1 tests at SF_NUM_THREADS=1" \
 gate "tier-1 tests at SF_NUM_THREADS=4" \
   env SF_NUM_THREADS=4 ctest --test-dir build -L tier1 \
   --output-on-failure -j "${JOBS}"
+gate "tier-1 tests at SF_SIMD=scalar (forced-scalar SIMD tier)" \
+  env SF_SIMD=scalar SF_NUM_THREADS=4 ctest --test-dir build -L tier1 \
+  --output-on-failure -j "${JOBS}"
 
 if [ "${JOBS}" -lt 4 ]; then
-  skip "kernel 4-thread speedup gate" \
+  skip "kernel 4-thread speedup gate (>=2.5x)" \
     "host has ${JOBS} hardware thread(s) < 4; bitwise determinism is still checked below"
 fi
 gate "bench_parallel_scaling --check (bitwise determinism + scaling)" \

@@ -1,0 +1,146 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace sf::simd {
+namespace {
+
+// -1 = no override; otherwise the Tier value forced via set_tier().
+std::atomic<int> g_override{-1};
+
+Tier parse_env_tier() {
+  const char* s = std::getenv("SF_SIMD");
+  if (!s || !*s || std::strcmp(s, "auto") == 0) return best_available();
+  for (int i = 0; i < kNumTiers; ++i) {
+    Tier t = static_cast<Tier>(i);
+    if (std::strcmp(s, tier_name(t)) == 0) {
+      if (tier_available(t)) return t;
+      SF_LOG(kWarn) << "SF_SIMD=" << s << " not available on this host "
+                   << "(compiled_in=" << compiled_in(t)
+                   << " cpu_supports=" << cpu_supports(t)
+                   << "); falling back to " << tier_name(best_available());
+      return best_available();
+    }
+  }
+  SF_LOG(kWarn) << "unknown SF_SIMD value '" << s
+               << "' (want scalar|sse|avx2|neon|auto); using auto";
+  return best_available();
+}
+
+Tier env_tier() {
+  static const Tier t = parse_env_tier();
+  return t;
+}
+
+int64_t cache_bytes(int name, int64_t fallback) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  long v = sysconf(name);
+  if (v > 0) return static_cast<int64_t>(v);
+#else
+  (void)name;
+#endif
+  return fallback;
+}
+
+}  // namespace
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kSSE: return "sse";
+    case Tier::kAVX2: return "avx2";
+    case Tier::kNEON: return "neon";
+  }
+  return "unknown";
+}
+
+bool compiled_in(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kSSE:
+#if defined(SF_SIMD_BUILD_SSE41)
+      return true;
+#else
+      return false;
+#endif
+    case Tier::kAVX2:
+#if defined(SF_SIMD_BUILD_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Tier::kNEON:
+#if defined(SF_SIMD_BUILD_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool cpu_supports(Tier t) {
+  if (t == Tier::kScalar) return true;
+#if defined(__x86_64__) || defined(__i386__)
+  if (t == Tier::kSSE) return __builtin_cpu_supports("sse4.1") != 0;
+  if (t == Tier::kAVX2) return __builtin_cpu_supports("avx2") != 0;
+  return false;
+#elif defined(__aarch64__)
+  return t == Tier::kNEON;  // NEON is architecturally baseline on aarch64
+#else
+  return false;
+#endif
+}
+
+bool tier_available(Tier t) { return compiled_in(t) && cpu_supports(t); }
+
+Tier best_available() {
+  static const Tier best = [] {
+    if (tier_available(Tier::kAVX2)) return Tier::kAVX2;
+    if (tier_available(Tier::kNEON)) return Tier::kNEON;
+    if (tier_available(Tier::kSSE)) return Tier::kSSE;
+    return Tier::kScalar;
+  }();
+  return best;
+}
+
+Tier active_tier() {
+  int o = g_override.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<Tier>(o);
+  return env_tier();
+}
+
+bool set_tier(Tier t) {
+  if (!tier_available(t)) return false;
+  g_override.store(static_cast<int>(t), std::memory_order_relaxed);
+  return true;
+}
+
+void clear_tier() { g_override.store(-1, std::memory_order_relaxed); }
+
+const CacheInfo& cache_info() {
+  static const CacheInfo info = [] {
+    CacheInfo c;
+#if defined(_SC_LEVEL1_DCACHE_SIZE) && defined(_SC_LEVEL2_CACHE_SIZE)
+    c.l1d_bytes = cache_bytes(_SC_LEVEL1_DCACHE_SIZE, 32 * 1024);
+    c.l2_bytes = cache_bytes(_SC_LEVEL2_CACHE_SIZE, 1024 * 1024);
+#else
+    c.l1d_bytes = 32 * 1024;
+    c.l2_bytes = 1024 * 1024;
+#endif
+    // Some containers report 0 for one level but not the other.
+    if (c.l1d_bytes <= 0) c.l1d_bytes = 32 * 1024;
+    if (c.l2_bytes <= 0) c.l2_bytes = 1024 * 1024;
+    return c;
+  }();
+  return info;
+}
+
+}  // namespace sf::simd

@@ -1,0 +1,74 @@
+// SIMD tier selection for the vectorized kernels (DESIGN.md §12).
+//
+// ScaleFold's kernel chapter is about making undersized kernels saturate
+// the hardware; on this CPU reproduction the per-core half of that story
+// is vector width. Every hot kernel in src/kernels dispatches through a
+// per-tier op table (kernels/simd_ops.h): explicit SSE4.1 / AVX2 / NEON
+// intrinsics behind runtime capability detection, plus a forced-scalar
+// tier that exists purely so the SIMD paths can be differentially tested
+// (`SF_SIMD=scalar`).
+//
+// Determinism contract: all tiers execute the same IEEE operation DAG —
+// reductions use a fixed virtual-lane pattern (8 float lanes / 4 double
+// lanes, combined in ascending lane order) in *every* tier, elementwise
+// ops keep the scalar expression order, and no tier uses FMA (the build
+// adds -ffp-contract=off so the compiler cannot introduce one). Kernel
+// output is therefore bitwise identical across scalar/SSE/AVX2/NEON at
+// any thread count; CI gates this with memcmp.
+//
+// Tier resolution order: set_tier() override (tests/benches), else the
+// SF_SIMD environment variable (scalar|sse|avx2|neon|auto), else the best
+// tier both compiled into the binary and supported by the running CPU.
+#pragma once
+
+#include <cstdint>
+
+namespace sf::simd {
+
+enum class Tier : int {
+  kScalar = 0,  ///< portable fallback; always available
+  kSSE = 1,     ///< x86 SSE4.1 (128-bit)
+  kAVX2 = 2,    ///< x86 AVX2 (256-bit)
+  kNEON = 3,    ///< aarch64 NEON (128-bit)
+};
+constexpr int kNumTiers = 4;
+
+/// Short lowercase name ("scalar", "sse", "avx2", "neon") — also the
+/// accepted SF_SIMD values.
+const char* tier_name(Tier t);
+
+/// True when the per-tier kernel translation unit was built into this
+/// binary (compiler supported the ISA flags at configure time).
+bool compiled_in(Tier t);
+
+/// True when the running CPU can execute the tier's instructions.
+bool cpu_supports(Tier t);
+
+/// compiled_in && cpu_supports.
+bool tier_available(Tier t);
+
+/// Widest available tier on this host (kScalar when nothing else is).
+Tier best_available();
+
+/// Tier currently in effect: set_tier override, else SF_SIMD, else
+/// best_available().
+Tier active_tier();
+
+/// Override the active tier at runtime (benches and the differential
+/// tests sweep this). Returns false — and changes nothing — when the
+/// requested tier is not available on this host.
+bool set_tier(Tier t);
+
+/// Drop the set_tier override, back to SF_SIMD / auto.
+void clear_tier();
+
+/// Data-cache geometry used to size GEMM packing tiles. Values are
+/// best-effort (sysconf) with sane fallbacks; they never affect results,
+/// only blocking (the per-element accumulation order is tile-invariant).
+struct CacheInfo {
+  int64_t l1d_bytes = 0;
+  int64_t l2_bytes = 0;
+};
+const CacheInfo& cache_info();
+
+}  // namespace sf::simd

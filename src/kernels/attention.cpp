@@ -7,15 +7,17 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "obs/trace.h"
+#include "kernels/simd_ops.h"
 #include "kernels/softmax.h"
 
 namespace sf::kernels {
 namespace {
 
+// All dot products go through the dispatch layer's fixed 8-lane
+// reduction, so naive and flash paths see identical logits on every
+// SIMD tier.
 inline float dot(const float* a, const float* b, int64_t n) {
-  float acc = 0.0f;
-  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::ops().dot_f32(a, b, n);
 }
 
 // dbias accumulates over the batch dimension: (b,h) work items from
@@ -85,13 +87,14 @@ void mha_forward_naive(const AttentionDims& d, const float* q, const float* k,
       }
       // Kernel 2: bias add (separate elementwise kernel in eager mode).
       if (bias_h) {
-        for (int64_t i = 0; i < logits_per_bh; ++i) logits[i] += bias_h[i];
+        simd::ops().add_f32(logits.data(), bias_h, logits.data(),
+                            logits_per_bh);
       }
       // Kernel 3: mask add.
       if (mask_b) {
         for (int64_t i = 0; i < d.q_len; ++i) {
           float* lrow = logits.data() + i * d.k_len;
-          for (int64_t j = 0; j < d.k_len; ++j) lrow[j] += mask_b[j];
+          simd::ops().add_f32(lrow, mask_b, lrow, d.k_len);
         }
       }
       // Kernel 4: softmax.
@@ -107,9 +110,8 @@ void mha_forward_naive(const AttentionDims& d, const float* q, const float* k,
         std::memset(orow, 0, sizeof(float) * d.head_dim);
         const float* prow = logits.data() + i * d.k_len;
         for (int64_t j = 0; j < d.k_len; ++j) {
-          float p = prow[j];
-          const float* vj = vb + j * d.head_dim;
-          for (int64_t c = 0; c < d.head_dim; ++c) orow[c] += p * vj[c];
+          simd::ops().axpy_f32(prow[j], vb + j * d.head_dim, orow,
+                               d.head_dim);
         }
       }
     }
@@ -153,6 +155,7 @@ void mha_backward_naive(const AttentionDims& d, const float* q, const float* k,
       float* dvb = dv + (bh * d.k_len) * d.head_dim;
 
       // dV += P^T dO ; dP = dO V^T
+      const simd::Ops& o = simd::ops();
       for (int64_t i = 0; i < d.q_len; ++i) {
         const float* prow = probs + i * d.k_len;
         const float* dorow = dob + i * d.head_dim;
@@ -160,13 +163,8 @@ void mha_backward_naive(const AttentionDims& d, const float* q, const float* k,
         for (int64_t j = 0; j < d.k_len; ++j) {
           const float* vj = vb + j * d.head_dim;
           float* dvj = dvb + j * d.head_dim;
-          float p = prow[j];
-          float acc = 0.0f;
-          for (int64_t c = 0; c < d.head_dim; ++c) {
-            dvj[c] += p * dorow[c];
-            acc += dorow[c] * vj[c];
-          }
-          dprow[j] = acc;
+          o.axpy_f32(prow[j], dorow, dvj, d.head_dim);
+          dprow[j] = o.dot_f32(dorow, vj, d.head_dim);
         }
       }
       // dLogits = softmax backward of dP.
@@ -175,22 +173,21 @@ void mha_backward_naive(const AttentionDims& d, const float* q, const float* k,
       // chunk's private partial buffer (stage 1 of the reduction).
       if (part_dbias) {
         float* dbias_h = part_dbias + h * logits_per_bh;
-        for (int64_t i = 0; i < logits_per_bh; ++i) dbias_h[i] += dlogits[i];
+        o.add_f32(dbias_h, dlogits.data(), dbias_h, logits_per_bh);
       }
-      // dQ += scale * dLogits K ; dK += scale * dLogits^T Q
+      // dQ += scale * dLogits K ; dK += scale * dLogits^T Q. No zero-skip
+      // on g: a non-finite K/Q row must poison the gradients even where
+      // dLogits is zero (0 * Inf is NaN).
       for (int64_t i = 0; i < d.q_len; ++i) {
         const float* dlrow = dlogits.data() + i * d.k_len;
         const float* qi = qb + i * d.head_dim;
         float* dqi = dqb + i * d.head_dim;
         for (int64_t j = 0; j < d.k_len; ++j) {
           float g = scale * dlrow[j];
-          if (g == 0.0f) continue;
           const float* kj = kb + j * d.head_dim;
           float* dkj = dkb + j * d.head_dim;
-          for (int64_t c = 0; c < d.head_dim; ++c) {
-            dqi[c] += g * kj[c];
-            dkj[c] += g * qi[c];
-          }
+          o.axpy_f32(g, kj, dqi, d.head_dim);
+          o.axpy_f32(g, qi, dkj, d.head_dim);
         }
       }
     }
@@ -245,18 +242,17 @@ void mha_forward_flash(const AttentionDims& d, const float* q, const float* k,
           // Rescale previous accumulators.
           float correction = (m == -INFINITY) ? 0.0f : std::exp(m - m_new);
           l *= correction;
-          for (int64_t c = 0; c < d.head_dim; ++c) oi[c] *= correction;
+          simd::ops().scale_f32(oi, correction, d.head_dim);
           // Accumulate tile.
           for (int64_t j = j0; j < j1; ++j) {
             float p = std::exp(tile_logits[j - j0] - m_new);
             l += p;
-            const float* vj = vb + j * d.head_dim;
-            for (int64_t c = 0; c < d.head_dim; ++c) oi[c] += p * vj[c];
+            simd::ops().axpy_f32(p, vb + j * d.head_dim, oi, d.head_dim);
           }
           m = m_new;
         }
         float inv_l = (l > 0.0f) ? 1.0f / l : 0.0f;
-        for (int64_t c = 0; c < d.head_dim; ++c) oi[c] *= inv_l;
+        simd::ops().scale_f32(oi, inv_l, d.head_dim);
         if (ctx) ctx->lse[bh * d.q_len + i] = m + std::log(std::max(l, 1e-30f));
       }
     }
@@ -324,13 +320,13 @@ void mha_backward_flash(const AttentionDims& d, const float* q, const float* k,
             // dV, dP, dS in one fused sweep.
             float dp = dot(doi, vj, d.head_dim);
             float ds = p * (dp - delta);
+            float sds = scale * ds;
             float* dvj = dvb + j * d.head_dim;
             float* dkj = dkb + j * d.head_dim;
-            for (int64_t c = 0; c < d.head_dim; ++c) {
-              dvj[c] += p * doi[c];
-              dqi[c] += scale * ds * kj[c];
-              dkj[c] += scale * ds * qi[c];
-            }
+            const simd::Ops& o = simd::ops();
+            o.axpy_f32(p, doi, dvj, d.head_dim);
+            o.axpy_f32(sds, kj, dqi, d.head_dim);
+            o.axpy_f32(sds, qi, dkj, d.head_dim);
             if (dbias_h) dbias_h[i * d.k_len + j] += ds;
           }
         }

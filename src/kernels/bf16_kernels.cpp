@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "kernels/simd_ops.h"
 
 namespace sf::kernels {
 namespace {
@@ -42,32 +43,33 @@ float reduce_bf16_range(const uint16_t* xb, int64_t begin, int64_t end) {
 }  // namespace
 
 void to_bf16(const float* src, BFloat16* dst, int64_t n) {
+  if (n == 0) return;
+  uint16_t* db = &dst[0].bits;
   parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) dst[i] = BFloat16(src[i]);
+    simd::ops().to_bf16(src + b, db + b, e - b);
   });
 }
 
 void from_bf16(const BFloat16* src, float* dst, int64_t n) {
+  if (n == 0) return;
+  const uint16_t* sb = &src[0].bits;
   parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) dst[i] = src[i].to_float();
+    simd::ops().from_bf16(sb + b, dst + b, e - b);
   });
 }
 
 void axpb_f32(const float* x, float* y, int64_t n, float a, float b) {
   parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) y[i] = a * x[i] + b;
+    simd::ops().axpb_f32(x + lo, y + lo, hi - lo, a, b);
   });
 }
 
 void axpb_bf16(const BFloat16* x, BFloat16* y, int64_t n, float a, float b) {
   if (n == 0) return;
-  // Branchless fast-path load/store so the loop auto-vectorizes.
   const uint16_t* xb = &x[0].bits;
   uint16_t* yb = &y[0].bits;
   parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      yb[i] = bf16_store_fast(a * bf16_load(xb[i]) + b);
-    }
+    simd::ops().axpb_bf16(xb + lo, yb + lo, hi - lo, a, b);
   });
 }
 
@@ -127,6 +129,8 @@ void gemm_bf16(const BFloat16* a, const BFloat16* b, float* c, int64_t m,
   // way, so the split leaves results unchanged.
   const int64_t grain =
       std::max<int64_t>(1, (int64_t{1} << 15) / std::max<int64_t>(1, k * n));
+  const uint16_t* bb = n > 0 && k > 0 ? &b[0].bits : nullptr;
+  const simd::Ops& o = simd::ops();
   parallel_for(0, m, grain, [&](int64_t i_begin, int64_t i_end) {
     for (int64_t k0 = 0; k0 < k; k0 += kTileK) {
       int64_t k1 = std::min(k0 + kTileK, k);
@@ -134,12 +138,9 @@ void gemm_bf16(const BFloat16* a, const BFloat16* b, float* c, int64_t m,
         float* c_row = c + i * n;
         const BFloat16* a_row = a + i * k;
         for (int64_t kk = k0; kk < k1; ++kk) {
-          float a_ik = a_row[kk].to_float();
-          if (a_ik == 0.0f) continue;
-          const BFloat16* b_row = b + kk * n;
-          for (int64_t j = 0; j < n; ++j) {
-            c_row[j] += a_ik * b_row[j].to_float();
-          }
+          // No zero-skip: a zero a_ik against a non-finite B row must
+          // still produce NaN in C.
+          o.axpy_bf16_f32(a_row[kk].to_float(), bb + kk * n, c_row, n);
         }
       }
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "kernels/simd_ops.h"
 #include "obs/trace.h"
 
 namespace sf::kernels {
@@ -40,13 +41,13 @@ inline float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
 void relu_forward(const float* x, float* y, int64_t n) {
   parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    simd::ops().relu_fwd_f32(x + b, y + b, e - b);
   });
 }
 
 void relu_backward(const float* x, const float* dy, float* dx, int64_t n) {
   parallel_for(0, n, kEwGrain, [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+    simd::ops().relu_bwd_f32(x + b, dy + b, dx + b, e - b);
   });
 }
 
@@ -77,11 +78,10 @@ void sigmoid_backward_from_output(const float* y, const float* dy, float* dx,
 
 void bias_add(const float* x, const float* bias, float* y, int64_t rows,
               int64_t cols) {
+  const simd::Ops& o = simd::ops();
   parallel_for(0, rows, row_grain_for(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
-      const float* xr = x + r * cols;
-      float* yr = y + r * cols;
-      for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] + bias[c];
+      o.add_f32(x + r * cols, bias, y + r * cols, cols);
     }
   });
 }
@@ -100,7 +100,7 @@ void fused_bias_gelu(const float* x, const float* bias, float* y, int64_t rows,
 
 void add_forward(const float* a, const float* b, float* y, int64_t n) {
   parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) y[i] = a[i] + b[i];
+    simd::ops().add_f32(a + lo, b + lo, y + lo, hi - lo);
   });
 }
 

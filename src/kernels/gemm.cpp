@@ -6,16 +6,38 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/simd.h"
+#include "kernels/simd_ops.h"
 #include "obs/trace.h"
 
 namespace sf::kernels {
 namespace {
 
-// Cache-blocking parameters tuned for typical L1/L2 sizes. AlphaFold inner
-// dims are small (32..256), so tiles are modest.
+// M tile: rows per register-blocked sweep. AlphaFold inner dims are small
+// (32..256), so this stays modest.
 constexpr int64_t kTileM = 32;
-constexpr int64_t kTileN = 64;
-constexpr int64_t kTileK = 128;
+
+// N/K tiles are derived from the measured cache geometry once per process.
+// Tile sizes only change the blocking, never the per-element accumulation
+// order (k ascends across tiles for every C element), so they are free to
+// vary per host without breaking determinism across threads or SIMD tiers.
+struct GemmTiles {
+  int64_t n, k;
+};
+const GemmTiles& gemm_tiles() {
+  static const GemmTiles t = [] {
+    const auto& c = sf::simd::cache_info();
+    GemmTiles g;
+    // N tile: one B-panel row plus the C row slice should sit in L1 with
+    // room to spare for the A operand stream.
+    g.n = c.l1d_bytes >= 48 * 1024 ? 128 : 64;
+    // K tile: the hot B panel (k-tile x n-tile floats) stays within ~half
+    // of L2.
+    g.k = std::clamp<int64_t>(c.l2_bytes / (8 * g.n), 128, 512);
+    return g;
+  }();
+  return t;
+}
 
 // Square tile for the pack/transpose of trans_a/trans_b operands: both the
 // read and the write stay within a tile that fits L1.
@@ -33,11 +55,6 @@ inline const float* row_ptr(const float* base, int64_t row, int64_t ld) {
   return base + row * ld;
 }
 
-// Core micro-loop: C[i,:] += a_ik * B[k,:], vectorizable by the compiler.
-inline void axpy(float a_ik, const float* b_row, float* c_row, int64_t n) {
-  for (int64_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
-}
-
 int64_t row_grain(int64_t k, int64_t n) {
   return std::max<int64_t>(1, kGemmGrainWork / std::max<int64_t>(1, k * n));
 }
@@ -48,18 +65,22 @@ int64_t row_grain(int64_t k, int64_t n) {
 // range was split (determinism across thread counts).
 void gemm_nn_rows(const float* a, const float* b, float* c, int64_t i_begin,
                   int64_t i_end, int64_t k, int64_t n, float alpha) {
+  const simd::Ops& o = simd::ops();
+  const GemmTiles& t = gemm_tiles();
   for (int64_t i0 = i_begin; i0 < i_end; i0 += kTileM) {
     int64_t i1 = std::min(i0 + kTileM, i_end);
-    for (int64_t k0 = 0; k0 < k; k0 += kTileK) {
-      int64_t k1 = std::min(k0 + kTileK, k);
-      for (int64_t j0 = 0; j0 < n; j0 += kTileN) {
-        int64_t j1 = std::min(j0 + kTileN, n);
+    for (int64_t k0 = 0; k0 < k; k0 += t.k) {
+      int64_t k1 = std::min(k0 + t.k, k);
+      for (int64_t j0 = 0; j0 < n; j0 += t.n) {
+        int64_t j1 = std::min(j0 + t.n, n);
         for (int64_t i = i0; i < i1; ++i) {
           float* c_row = c + i * n + j0;
           const float* a_row = row_ptr(a, i, k);
           for (int64_t kk = k0; kk < k1; ++kk) {
+            // No zero-skip: 0 * NaN must stay NaN (and 0 * Inf NaN), so
+            // every k contributes even when a_ik == 0.
             float a_ik = alpha * a_row[kk];
-            if (a_ik != 0.0f) axpy(a_ik, b + kk * n + j0, c_row, j1 - j0);
+            o.axpy_f32(a_ik, b + kk * n + j0, c_row, j1 - j0);
           }
         }
       }
@@ -106,7 +127,7 @@ void scale_or_zero(float* c, int64_t numel, float beta) {
     });
   } else if (beta != 1.0f) {
     parallel_for(0, numel, kMemGrain, [&](int64_t b, int64_t e) {
-      for (int64_t i = b; i < e; ++i) c[i] *= beta;
+      simd::ops().scale_f32(c + b, beta, e - b);
     });
   }
 }
@@ -124,15 +145,17 @@ void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
   // row-major layout once, then run through the same blocked gemm_nn
   // tiling as the forward path — replacing the former unblocked triple
   // loops. Pack cost is O(M*K) / O(K*N) memory traffic, amortized over
-  // the O(M*K*N) multiply.
-  std::vector<float> a_pack, b_pack;
+  // the O(M*K*N) multiply. The buffers are thread_local so repeated
+  // backward GEMMs reuse one grown allocation instead of touching the
+  // allocator every call.
+  static thread_local std::vector<float> a_pack, b_pack;
   if (trans_a) {
-    a_pack.resize(static_cast<size_t>(m) * k);
+    if (static_cast<int64_t>(a_pack.size()) < m * k) a_pack.resize(m * k);
     transpose_blocked(a, a_pack.data(), k, m);  // stored [K,M] -> [M,K]
     a = a_pack.data();
   }
   if (trans_b) {
-    b_pack.resize(static_cast<size_t>(k) * n);
+    if (static_cast<int64_t>(b_pack.size()) < k * n) b_pack.resize(k * n);
     transpose_blocked(b, b_pack.data(), n, k);  // stored [N,K] -> [K,N]
     b = b_pack.data();
   }
@@ -194,6 +217,7 @@ void linear_group_batched(const float* x, int64_t m, int64_t k,
   // weight panel while the X tile is hot in cache. X is read once per row
   // tile instead of once per group. Parallel over row tiles: every chunk
   // owns a disjoint row slice of all group outputs.
+  const simd::Ops& o = simd::ops();
   parallel_for(0, m, row_grain(k, n_total), [&](int64_t r0, int64_t r1) {
     for (int64_t i0 = r0; i0 < r1; i0 += kTileM) {
       int64_t i1 = std::min(i0 + kTileM, r1);
@@ -206,8 +230,8 @@ void linear_group_batched(const float* x, int64_t m, int64_t k,
           std::memset(c_row, 0, sizeof(float) * n);
           const float* x_row = x + i * k;
           for (int64_t kk = 0; kk < k; ++kk) {
-            float a_ik = x_row[kk];
-            if (a_ik != 0.0f) axpy(a_ik, w + kk * n, c_row, n);
+            // No zero-skip: non-finite rows of W must propagate.
+            o.axpy_f32(x_row[kk], w + kk * n, c_row, n);
           }
         }
       }

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "kernels/simd_ops.h"
 #include "obs/trace.h"
 
 namespace sf::kernels {
@@ -84,27 +85,21 @@ void layernorm_forward_fused(const float* x, const float* gamma,
   // Parallel over row tiles: every row is independent (disjoint writes to
   // y and stats), so the split cannot change results.
   const int64_t grain = std::max(rows_per_tile, ln_row_grain(cols));
+  const simd::Ops& o = simd::ops();
   parallel_for(0, rows, grain, [&](int64_t c0, int64_t c1) {
   for (int64_t r0 = c0; r0 < c1; r0 += rows_per_tile) {
     int64_t r1 = std::min(r0 + rows_per_tile, c1);
-    // Single pass over each row: sum and sum-of-squares together, no
-    // temporaries. The tile loop mirrors one thread block handling
-    // multiple small rows.
+    // Single pass over each row: sum and sum-of-squares together (4-lane
+    // fixed-order double reduction), no temporaries. The tile loop
+    // mirrors one thread block handling multiple small rows.
     for (int64_t r = r0; r < r1; ++r) {
       const float* xr = x + r * cols;
       double s = 0.0, sq = 0.0;
-      for (int64_t c = 0; c < cols; ++c) {
-        double v = xr[c];
-        s += v;
-        sq += v * v;
-      }
+      o.sum_sumsq_f32(xr, cols, &s, &sq);
       float mean = static_cast<float>(s / cols);
       float var = static_cast<float>(sq / cols) - mean * mean;
       float rstd = 1.0f / std::sqrt(std::max(var, 0.0f) + eps);
-      float* yr = y + r * cols;
-      for (int64_t c = 0; c < cols; ++c) {
-        yr[c] = (xr[c] - mean) * rstd * gamma[c] + beta[c];
-      }
+      o.ln_fwd_row(xr, gamma, beta, mean, rstd, y + r * cols, cols);
       if (stats) {
         stats->mean[r] = mean;
         stats->rstd[r] = rstd;
@@ -187,6 +182,7 @@ void layernorm_backward_fused(const float* x, const float* gamma,
   std::vector<float> part_dbeta(static_cast<size_t>(num_tiles) * cols, 0.0f);
 
   // Parallel over tiles: each tile owns its dx rows and its partial rows.
+  const simd::Ops& o = simd::ops();
   parallel_for(0, num_tiles, 1, [&](int64_t t0, int64_t t1) {
   for (int64_t t = t0; t < t1; ++t) {
     int64_t r0 = t * rows_per_tile;
@@ -196,27 +192,18 @@ void layernorm_backward_fused(const float* x, const float* gamma,
     for (int64_t r = r0; r < r1; ++r) {
       const float* xr = x + r * cols;
       const float* gr = dy + r * cols;
-      float* dr = dx + r * cols;
       float mean = stats.mean[r];
       float rstd = stats.rstd[r];
       // Single fused pass: xhat recomputed in registers, both row
-      // reductions and the partial column reductions in one read.
+      // reductions (4-lane fixed-order doubles) and the partial column
+      // reductions in one read.
       double sg = 0.0, sgh = 0.0;
-      for (int64_t c = 0; c < cols; ++c) {
-        float h = (xr[c] - mean) * rstd;
-        float g = gr[c] * gamma[c];
-        sg += g;
-        sgh += static_cast<double>(g) * h;
-        pg[c] += gr[c] * h;
-        pb[c] += gr[c];
-      }
+      o.ln_bwd_row_reduce(xr, gr, gamma, mean, rstd, pg, pb, cols, &sg,
+                          &sgh);
       float inv_n = 1.0f / static_cast<float>(cols);
       float fsg = static_cast<float>(sg), fsgh = static_cast<float>(sgh);
-      for (int64_t c = 0; c < cols; ++c) {
-        float h = (xr[c] - mean) * rstd;
-        float g = gr[c] * gamma[c];
-        dr[c] = rstd * (g - inv_n * fsg - h * inv_n * fsgh);
-      }
+      o.ln_bwd_row_dx(xr, gr, gamma, mean, rstd, inv_n * fsg, fsgh, inv_n,
+                      dx + r * cols, cols);
     }
   }
   });

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "kernels/simd_ops.h"
 #include "obs/trace.h"
 
 namespace sf::kernels {
@@ -82,37 +83,33 @@ void fused_adam_swa_step(std::span<const ParamChunk> chunks,
   const float b1 = h.beta1, b2 = h.beta2;
   const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step));
   const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step));
-  const float inv_bc1 = 1.0f / bc1;
-  const float inv_bc2 = 1.0f / bc2;
+
+  simd::AdamConsts k;
+  k.grad_scale = grad_scale;
+  k.weight_decay = h.weight_decay;
+  k.beta1 = b1;
+  k.beta2 = b2;
+  k.one_minus_beta1 = 1.0f - b1;
+  k.one_minus_beta2 = 1.0f - b2;
+  k.inv_bc1 = 1.0f / bc1;
+  k.inv_bc2 = 1.0f / bc2;
+  k.lr = h.lr;
+  k.eps = h.eps;
+  k.swa_decay = swa_decay;
 
   // One sweep over the packed pointer list; every intermediate lives in
   // registers. Contiguous sub-regions per chunk give the data locality the
   // paper's thread-block mapping provides. Parallel over the flat chunk
   // list (the multi-tensor grid dimension): every element update is
   // independent, so any split of the list is bitwise-equivalent.
+  const simd::Ops& o = simd::ops();
   parallel_for(
       0, static_cast<int64_t>(chunks.size()), 1,
       [&](int64_t c0, int64_t c1) {
         for (int64_t ci = c0; ci < c1; ++ci) {
           const auto& c = chunks[ci];
-          float* p = c.param;
-          float* g = c.grad;
-          float* m = c.exp_avg;
-          float* v = c.exp_avg_sq;
-          float* s = c.swa;
-          for (int64_t i = 0; i < c.n; ++i) {
-            float gi = g[i] * grad_scale;
-            if (h.weight_decay != 0.0f) gi += h.weight_decay * p[i];
-            float mi = b1 * m[i] + (1.0f - b1) * gi;
-            float vi = b2 * v[i] + (1.0f - b2) * gi * gi;
-            m[i] = mi;
-            v[i] = vi;
-            float update =
-                h.lr * (mi * inv_bc1) / (std::sqrt(vi * inv_bc2) + h.eps);
-            float pi = p[i] - update;
-            p[i] = pi;
-            if (s) s[i] = swa_decay * s[i] + (1.0f - swa_decay) * pi;
-          }
+          o.adam_swa_chunk(c.param, c.grad, c.exp_avg, c.exp_avg_sq, c.swa,
+                           c.n, k);
         }
       });
 }
@@ -125,15 +122,11 @@ void grad_sq_sum_partials(std::span<const float* const> buckets,
   // bucket's elements — bitwise-reproducible at any thread count, and
   // identical whether the buckets are normed together (blocking path) or
   // one at a time as their reductions complete (overlapped path).
+  const simd::Ops& o = simd::ops();
   parallel_for(0, static_cast<int64_t>(buckets.size()), 1,
                [&](int64_t b0, int64_t b1) {
                  for (int64_t b = b0; b < b1; ++b) {
-                   const float* data = buckets[b];
-                   double part = 0.0;
-                   for (int64_t i = 0; i < sizes[b]; ++i) {
-                     part += static_cast<double>(data[i]) * data[i];
-                   }
-                   out[b] = part;
+                   out[b] = o.sumsq_f32(buckets[b], sizes[b]);
                  }
                });
 }

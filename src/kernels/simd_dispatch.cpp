@@ -1,0 +1,53 @@
+// Runtime dispatch from sf::simd tier selection to the per-tier op
+// tables. A tier's table is only reachable after common/simd.cpp has
+// confirmed both that its TU was compiled in and that the running CPU
+// supports the ISA, so no illegal instruction can execute.
+#include "kernels/simd_ops.h"
+
+namespace sf::kernels::simd {
+
+extern const Ops kScalarOps;
+#if defined(SF_SIMD_BUILD_SSE41)
+extern const Ops kSseOps;
+#endif
+#if defined(SF_SIMD_BUILD_AVX2)
+extern const Ops kAvx2Ops;
+#endif
+#if defined(SF_SIMD_BUILD_NEON)
+extern const Ops kNeonOps;
+#endif
+
+const Ops* tier_ops(sf::simd::Tier t) {
+  using sf::simd::Tier;
+  if (!sf::simd::tier_available(t)) return nullptr;
+  switch (t) {
+    case Tier::kScalar:
+      return &kScalarOps;
+    case Tier::kSSE:
+#if defined(SF_SIMD_BUILD_SSE41)
+      return &kSseOps;
+#else
+      return nullptr;
+#endif
+    case Tier::kAVX2:
+#if defined(SF_SIMD_BUILD_AVX2)
+      return &kAvx2Ops;
+#else
+      return nullptr;
+#endif
+    case Tier::kNEON:
+#if defined(SF_SIMD_BUILD_NEON)
+      return &kNeonOps;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const Ops& ops() {
+  const Ops* t = tier_ops(sf::simd::active_tier());
+  return t ? *t : kScalarOps;
+}
+
+}  // namespace sf::kernels::simd

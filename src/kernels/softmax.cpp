@@ -3,36 +3,60 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+#include "kernels/simd_ops.h"
+#include "obs/trace.h"
+
 namespace sf::kernels {
+namespace {
+
+/// Row grain: enough rows per chunk that a chunk moves ~16K elements, so
+/// the tiny per-(b,h) softmaxes inside attention stay serial.
+int64_t sm_row_grain(int64_t cols) {
+  return std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(1, cols));
+}
+
+}  // namespace
 
 void softmax_forward(const float* x, float* y, int64_t rows, int64_t cols) {
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * cols;
-    float* yr = y + r * cols;
-    float m = -INFINITY;
-    for (int64_t c = 0; c < cols; ++c) m = std::max(m, xr[c]);
-    double s = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      float e = std::exp(xr[c] - m);
-      yr[c] = e;
-      s += e;
+  SF_TRACE_SPAN_ID("kernel", "softmax_fwd", num_threads());
+  // Parallel over rows: each row is an independent reduction with a
+  // fixed-order double accumulator, so the split cannot change results.
+  const simd::Ops& o = simd::ops();
+  parallel_for(0, rows, sm_row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      float m = -INFINITY;
+      for (int64_t c = 0; c < cols; ++c) m = std::max(m, xr[c]);
+      double s = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        float e = std::exp(xr[c] - m);
+        yr[c] = e;
+        s += e;
+      }
+      float inv = static_cast<float>(1.0 / s);
+      o.scale_f32(yr, inv, cols);
     }
-    float inv = static_cast<float>(1.0 / s);
-    for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
-  }
+  });
 }
 
 void softmax_backward(const float* y, const float* dy, float* dx,
                       int64_t rows, int64_t cols) {
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* yr = y + r * cols;
-    const float* gr = dy + r * cols;
-    float* dr = dx + r * cols;
-    double dot = 0.0;
-    for (int64_t c = 0; c < cols; ++c) dot += static_cast<double>(gr[c]) * yr[c];
-    float fd = static_cast<float>(dot);
-    for (int64_t c = 0; c < cols; ++c) dr[c] = yr[c] * (gr[c] - fd);
-  }
+  SF_TRACE_SPAN_ID("kernel", "softmax_bwd", num_threads());
+  parallel_for(0, rows, sm_row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* yr = y + r * cols;
+      const float* gr = dy + r * cols;
+      float* dr = dx + r * cols;
+      double dot = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        dot += static_cast<double>(gr[c]) * yr[c];
+      }
+      float fd = static_cast<float>(dot);
+      for (int64_t c = 0; c < cols; ++c) dr[c] = yr[c] * (gr[c] - fd);
+    }
+  });
 }
 
 }  // namespace sf::kernels

@@ -161,6 +161,36 @@ TEST(Gemm, BetaZeroOverwritesGarbage) {
   for (float v : c) EXPECT_TRUE(std::isfinite(v));
 }
 
+TEST(Gemm, NonFinitePropagation) {
+  // Regression: the inner loop used to skip k-steps where A[i,kk] == 0,
+  // which silently swallowed NaN/Inf in B (0 * NaN must be NaN, not 0).
+  const int64_t m = 7, k = 11, n = 9;
+  auto a = random_vec(m * k, 51);
+  auto b = random_vec(k * n, 52);
+  a[0 * k + 2] = 0.0f;  // zero multiplier on the poisoned B row
+  b[2 * n + 1] = std::numeric_limits<float>::quiet_NaN();
+  b[2 * n + 3] = std::numeric_limits<float>::infinity();
+
+  std::vector<float> c(m * n), c_ref(m * n);
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  ref_gemm(a.data(), b.data(), c_ref.data(), m, k, n, false, false, 1.0f,
+           0.0f);
+  EXPECT_TRUE(std::isnan(c[0 * n + 1]));  // 0 * NaN
+  EXPECT_TRUE(std::isnan(c[0 * n + 3]));  // 0 * inf
+  for (int64_t i = 0; i < m * n; ++i) {
+    // Class-wise compare against the reference: NaNs must appear in the
+    // same places, infinities must match exactly (sign included), and
+    // finite values must still agree.
+    EXPECT_EQ(std::isnan(c[i]), std::isnan(c_ref[i])) << "elem " << i;
+    if (std::isnan(c_ref[i])) continue;
+    if (std::isinf(c_ref[i])) {
+      EXPECT_EQ(c[i], c_ref[i]) << "elem " << i;
+    } else {
+      EXPECT_NEAR(c[i], c_ref[i], 1e-3f) << "elem " << i;
+    }
+  }
+}
+
 TEST(Gemm, ZeroDimsAreNoops) {
   std::vector<float> c(4, 7.0f);
   gemm(nullptr, nullptr, c.data(), 2, 0, 2);  // k=0: C = 0

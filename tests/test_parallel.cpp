@@ -24,6 +24,7 @@
 #include "kernels/gemm.h"
 #include "kernels/layernorm.h"
 #include "kernels/optimizer_kernels.h"
+#include "kernels/softmax.h"
 
 namespace sf {
 namespace {
@@ -369,6 +370,18 @@ TEST(KernelDeterminism, LayerNormFusedForwardBackward) {
                                       dx.data(), dgamma.data(), dbeta.data(),
                                       rows, cols, 8);
     return std::vector<std::vector<float>>{y, dx, dgamma, dbeta};
+  });
+}
+
+TEST(KernelDeterminism, SoftmaxForwardBackward) {
+  const int64_t rows = 173, cols = 61;
+  auto x = random_vec(rows * cols, 61);
+  auto dy = random_vec(rows * cols, 62);
+  expect_bitwise_1v4([&]() {
+    std::vector<float> y(rows * cols), dx(rows * cols);
+    kernels::softmax_forward(x.data(), y.data(), rows, cols);
+    kernels::softmax_backward(y.data(), dy.data(), dx.data(), rows, cols);
+    return std::vector<std::vector<float>>{y, dx};
   });
 }
 

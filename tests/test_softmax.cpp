@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "kernels/softmax.h"
 
@@ -101,6 +103,34 @@ TEST(SoftmaxBackward, GradSumsToZeroPerRow) {
     double s = 0;
     for (int64_t c = 0; c < cols; ++c) s += dx[r * cols + c];
     EXPECT_NEAR(s, 0.0, 1e-4);
+  }
+}
+
+TEST(Softmax, BitwiseIdenticalAcrossThreadCounts) {
+  // Rows are now parallelized (sf::parallel_for); the fixed-order row
+  // reductions must keep output independent of SF_NUM_THREADS.
+  Rng rng(17);
+  const int64_t rows = 203, cols = 57;
+  std::vector<float> x(rows * cols), dy(rows * cols);
+  fill_normal(rng, x.data(), x.size(), 0.0f, 2.0f);
+  fill_normal(rng, dy.data(), dy.size(), 0.0f, 1.0f);
+
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    std::vector<float> y(rows * cols), dx(rows * cols);
+    softmax_forward(x.data(), y.data(), rows, cols);
+    softmax_backward(y.data(), dy.data(), dx.data(), rows, cols);
+    set_num_threads(0);
+    return std::pair{y, dx};
+  };
+  auto [y1, dx1] = run(1);
+  for (int t : {2, 4}) {
+    auto [yt, dxt] = run(t);
+    EXPECT_EQ(std::memcmp(y1.data(), yt.data(), y1.size() * sizeof(float)), 0)
+        << "forward differs at " << t << " threads";
+    EXPECT_EQ(std::memcmp(dx1.data(), dxt.data(), dx1.size() * sizeof(float)),
+              0)
+        << "backward differs at " << t << " threads";
   }
 }
 

@@ -105,8 +105,17 @@ def check_row_list(doc, path, errors, fields, what):
 
 def check_kernels(doc, path, errors):
     check_row_list(doc, path, errors,
-                   {"kernel": str, "threads": int, "ns_per_iter": NUM,
+                   {"kernel": str, "simd": str, "threads": int,
+                    "ns_per_iter": NUM, "speedup_vs_1t": NUM,
                     "bitwise_match": bool}, "kernel rows")
+    if not isinstance(doc, list):
+        return
+    # The sweep must cover the forced-scalar tier (the differential-test
+    # reference) — a build where SF_SIMD=scalar stopped being exercised
+    # should fail loudly, not fade out of the artifact.
+    tiers = {row.get("simd") for row in doc if isinstance(row, dict)}
+    if tiers and "scalar" not in tiers:
+        fail(errors, path, "kernel sweep has no forced-scalar tier rows")
 
 def check_overlap(doc, path, errors):
     check_row_list(doc, path, errors,
